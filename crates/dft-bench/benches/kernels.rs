@@ -1,0 +1,150 @@
+//! Criterion microbenchmarks of the hot computational kernels — the real
+//! CPU counterparts of the paper's GPU kernels (Sec. 5.4.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dft_core::chebyshev::{chebyshev_filter, lanczos_bounds, random_subspace};
+use dft_core::hamiltonian::KsHamiltonian;
+use dft_fem::mesh::Mesh3d;
+use dft_fem::space::{CellDenseOperator, FeSpace};
+use dft_linalg::batched::{batched_gemm, BatchLayout};
+use dft_linalg::gemm::{gemm, Op};
+use dft_linalg::iterative::LinearOperator;
+use dft_linalg::matrix::Matrix;
+use dft_mlxc::MlxcModel;
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+/// The paper's headline kernel: strided-batched dense cell GEMM
+/// (`xGEMMStridedBatched` analogue), `nloc x nloc` cell matrices times
+/// `nloc x B_f` wavefunction blocks.
+fn bench_batched_cell_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_cell_gemm");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    for (p, bf, cells) in [(4usize, 32usize, 64usize), (6, 32, 16), (6, 128, 16)] {
+        let nloc = (p + 1).pow(3);
+        let a: Vec<f64> = (0..nloc * nloc * cells)
+            .map(|i| ((i * 13) as f64 * 0.1).sin())
+            .collect();
+        let b: Vec<f64> = (0..nloc * bf * cells)
+            .map(|i| ((i * 7) as f64 * 0.2).cos())
+            .collect();
+        let mut out = vec![0.0; nloc * bf * cells];
+        let layout = BatchLayout::packed(nloc, bf, nloc, cells);
+        g.throughput(Throughput::Elements(layout.flops::<f64>()));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{p}_bf{bf}_cells{cells}")),
+            &layout,
+            |bch, &layout| {
+                bch.iter(|| batched_gemm(layout, 1.0, &a, &b, 0.0, &mut out));
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Matrix-free sum-factorized Hamiltonian apply vs the dense-cell batched
+/// path (the paper's kernel choice trade-off).
+fn bench_hamiltonian_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hamiltonian_apply");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    let space = FeSpace::new(Mesh3d::cube(4, 10.0, 4));
+    let v: Vec<f64> = (0..space.nnodes()).map(|i| (i as f64 * 0.01).sin()).collect();
+    let h = KsHamiltonian::<f64>::new(&space, &v, [1.0; 3]);
+    let x = Matrix::from_fn(h.dim(), 16, |i, j| ((i + 31 * j) as f64 * 0.23).sin());
+    let mut y = Matrix::zeros(h.dim(), 16);
+    g.bench_function("sumfac_p4_16cols", |b| {
+        b.iter(|| h.apply(&x, &mut y));
+    });
+    let dense = CellDenseOperator::<f64>::stiffness(&space);
+    g.bench_function("dense_cell_stiffness_p4_16cols", |b| {
+        b.iter(|| dense.apply_block(&space, &x, &mut y, [1.0; 3]));
+    });
+    g.finish();
+}
+
+/// ChFES building blocks: CF filter sweep and the CholGS/RR dense algebra.
+fn bench_chfes_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chfes_steps");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    let space = FeSpace::new(Mesh3d::cube(3, 10.0, 4));
+    let v: Vec<f64> = (0..space.nnodes())
+        .map(|i| {
+            let c = space.node_coord(i);
+            0.5 * ((c[0] - 5.0).powi(2) + (c[1] - 5.0).powi(2) + (c[2] - 5.0).powi(2))
+        })
+        .collect();
+    let h = KsHamiltonian::<f64>::new(&space, &v, [1.0; 3]);
+    let (tmin, tmax) = lanczos_bounds(&h, 10, 1);
+    let psi0 = random_subspace::<f64>(h.dim(), 8, 3);
+    g.bench_function("cf_degree20_8states", |b| {
+        b.iter(|| {
+            let mut psi = psi0.clone();
+            chebyshev_filter(&h, &mut psi, 20, tmin + 0.2 * (tmax - tmin), tmax, tmin - 1.0);
+        });
+    });
+    // CholGS on a tall block
+    let m = 4000;
+    let n = 48;
+    let psi = Matrix::from_fn(m, n, |i, j| ((i * 3 + j * 17 + i * j) as f64 * 0.13).sin());
+    g.bench_function("cholgs_4000x48", |b| {
+        b.iter(|| {
+            let mut s = Matrix::zeros(n, n);
+            gemm(1.0, &psi, Op::ConjTrans, &psi, Op::None, 0.0, &mut s);
+            s.symmetrize_hermitian();
+            let linv = dft_linalg::cholesky_inverse(&s).unwrap();
+            let mut out = Matrix::zeros(m, n);
+            gemm(1.0, &psi, Op::None, &linv, Op::ConjTrans, 0.0, &mut out);
+            out
+        });
+    });
+    g.bench_function("rr_diag_48", |b| {
+        let hm = Matrix::from_fn(n, n, |i, j| ((i * j) as f64 * 0.21).sin());
+        b.iter(|| {
+            let mut a = hm.clone();
+            a.symmetrize_hermitian();
+            dft_linalg::eigh(&a).unwrap()
+        });
+    });
+    g.finish();
+}
+
+/// MLXC inference: pointwise functional evaluation with input gradients.
+fn bench_mlxc_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mlxc");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    let model = MlxcModel::new(1);
+    let points: Vec<(f64, f64)> = (0..512)
+        .map(|i| (0.1 + 0.01 * i as f64, 0.05 * i as f64))
+        .collect();
+    g.throughput(Throughput::Elements(points.len() as u64));
+    g.bench_function("eval_point_paper_arch_512pts", |b| {
+        b.iter(|| {
+            points
+                .iter()
+                .map(|&(r, gn)| model.eval_point(r, 0.0, gn).e)
+                .sum::<f64>()
+        });
+    });
+    g.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_batched_cell_gemm(quick(c));
+    bench_hamiltonian_apply(c);
+    bench_chfes_steps(c);
+    bench_mlxc_inference(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Fig. 7: strong scaling of the GPU-accelerated invDFT on Perlmutter.
+//!
+//! Paper: ortho-benzyne (C6H4, all-electron, strongly correlated), 104 s
+//! per outer iteration on 4 nodes -> 20 s on 32 nodes (5.2x over 8x
+//! nodes); 17.7x CPU->GPU speedup; whole exact-XC-potential evaluation in
+//! ~3 h (50x faster than the previous implementation's ~7 days).
+
+use dft_bench::section;
+use dft_hpc::machine::{ClusterSpec, MachineModel};
+use dft_hpc::schedule::{invdft_iteration, DftSystemSpec, SolverOptions};
+
+fn main() {
+    // all-electron molecular problem: modest electron count, huge spectral
+    // width -> very high Chebyshev degree; ~6e7 adaptive FE DoF
+    let sys = DftSystemSpec::new("ortho-benzyne C6H4 (AE)", 10.0, 40.0, 7.0e7, 1, false, 7);
+    let opts = SolverOptions::default();
+    let cheb_ae = 1000.0;
+    let minres = 60.0;
+    let overhead = 0.01;
+
+    section("Fig. 7 — invDFT strong scaling on Perlmutter (s/iteration)");
+    let mut t4 = 0.0;
+    for nodes in [4usize, 8, 16, 32] {
+        let t = invdft_iteration(
+            &sys,
+            &opts,
+            &ClusterSpec::new(MachineModel::perlmutter(), nodes),
+            cheb_ae,
+            minres,
+            overhead,
+        );
+        if nodes == 4 {
+            t4 = t;
+        }
+        println!("  {nodes:>3} nodes   {t:>8.1} s/iteration");
+    }
+    let t32 = invdft_iteration(
+        &sys,
+        &opts,
+        &ClusterSpec::new(MachineModel::perlmutter(), 32),
+        cheb_ae,
+        minres,
+        overhead,
+    );
+    println!();
+    println!("paper: 104 s @ 4 nodes -> 20 s @ 32 nodes (5.2x)");
+    println!("model: {t4:.0} s -> {t32:.0} s  ({:.1}x)", t4 / t32);
+    let full = 550.0 * t32 / 3600.0;
+    println!(
+        "550-iteration exact-XC-potential evaluation at 32 nodes: ~{full:.1} h (paper: ~3 h, 50x \
+         faster than the 7-day previous implementation)"
+    );
+
+    // CPU->GPU: a 64-core EPYC node sustains ~2 TFLOPS FP64 vs 4 A100s at
+    // ~39 TFLOPS vector peak; with GPU efficiencies the paper measured
+    // 17.7x in node-hours.
+    let cpu_node_tflops = 2.2;
+    let gpu_share = t4; // 4 GPU nodes
+    let cpu_est = gpu_share * (4.0 * MachineModel::perlmutter().node_peak_tflops() * 0.45)
+        / (4.0 * cpu_node_tflops * 0.8);
+    println!(
+        "CPU->GPU speedup estimate (node-hours): {:.1}x (paper: 17.7x)",
+        cpu_est / gpu_share
+    );
+}

@@ -1,0 +1,53 @@
+//! Footnote 11 / Sec. 1: time-to-solution per electron vs QMC.
+//!
+//! Paper: 3.3e-2 s/GS/electron for DFT-FE-MLXC, a 220-350x speedup over
+//! QMC (the most efficient quantum-accurate QMB method) at 100x the
+//! system size.
+
+use dft_bench::{section, twin_disloc_mg_y_a, ybcd_quasicrystal};
+use dft_hpc::machine::{ClusterSpec, MachineModel};
+use dft_hpc::schedule::{scf_step, SolverOptions};
+
+fn main() {
+    section("time-to-solution per electron (s/GS/electron)");
+    // QMC reference from the paper's Table 1: NiO 1,536 e-, 294.7 min/GS
+    let qmc = 294.7 * 60.0 / 1536.0;
+    println!("QMCPACK (Titan, NiO 1,536 e-):        {qmc:>10.2}");
+
+    // YbCd full ground state (Table 2 model): 34 SCF + init
+    let ybcd = ybcd_quasicrystal();
+    let r = scf_step(
+        &ybcd,
+        &SolverOptions::default(),
+        &ClusterSpec::new(MachineModel::perlmutter(), 1120),
+    );
+    let total = 69.0 + 34.0 * r.total_seconds + 4.0 * r.step("CF").seconds;
+    let ours_ybcd = total / ybcd.supercell_electrons();
+    println!(
+        "DFT-FE-MLXC (YbCd 40,040 e-):         {ours_ybcd:>10.3}   (paper headline: 0.033)"
+    );
+
+    // TwinDislocMgY(A) at 40 SCF steps
+    let a = twin_disloc_mg_y_a();
+    let ra = scf_step(
+        &a,
+        &SolverOptions {
+            gpu_aware: false,
+            ..SolverOptions::default()
+        },
+        &ClusterSpec::new(MachineModel::frontier(), 2400),
+    );
+    let ours_a = 40.0 * ra.total_seconds / a.supercell_electrons();
+    println!("DFT-FE-MLXC (TwinDislocMgY(A) 302,668 e-): {ours_a:>6.3}");
+
+    println!();
+    println!(
+        "speedup vs QMC: YbCd {:.0}x, TwinDislocMgY(A) {:.0}x (paper: 220-350x)",
+        qmc / ours_ybcd,
+        qmc / ours_a
+    );
+    println!(
+        "system size vs QMB reach: {:.0}x (paper: 100x)",
+        a.supercell_electrons() / 6144.0
+    );
+}

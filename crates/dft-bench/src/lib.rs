@@ -1,0 +1,22 @@
+//! # dft-bench
+//!
+//! The benchmark/reproduction harness: one binary per table and figure of
+//! the paper (see DESIGN.md Sec. 4 for the experiment index), plus shared
+//! benchmark-system definitions and the miniature invDFT->MLXC training
+//! pipeline used by several experiments.
+
+#![deny(unsafe_code)]
+
+pub mod pipeline;
+pub mod systems;
+
+pub use pipeline::{train_mlxc_from_invdft, MiniSystem, PipelineConfig};
+pub use systems::{
+    disloc_mg_y, twin_disloc_mg_y_a, twin_disloc_mg_y_b, twin_disloc_mg_y_c, ybcd_quasicrystal,
+};
+
+/// Pretty-print a separator-titled section.
+pub fn section(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}

@@ -1,0 +1,67 @@
+//! The paper's benchmark systems (Sec. 6.2) as performance-schedule specs.
+//!
+//! FE DoF counts follow the paper where stated (YbCd: 75,069,290;
+//! TwinDislocMgY(B)/(C): ~1.7e9) and scale with atom count otherwise.
+//! States per k-point derive from the electron counts through the
+//! Table-3-inferred ratio (see `dft_hpc::schedule::STATES_PER_ELECTRON`).
+
+use dft_hpc::schedule::DftSystemSpec;
+
+/// YbCd quasicrystal nanoparticle: Yb295Cd1648, 1,943 atoms, 40,040 e-,
+/// 75,069,290 FE DoF, Γ-only (isolated nanoparticle), p=7.
+pub fn ybcd_quasicrystal() -> DftSystemSpec {
+    DftSystemSpec::new("YbCd quasicrystal", 1943.0, 40_040.0, 75_069_290.0, 1, false, 7)
+}
+
+/// DislocMgY: pyramidal II <c+a> screw dislocation + Y solute,
+/// (6,016 atoms, 12,041 e-) x 2 k-points, ~96e6 FE DoF, p=8.
+pub fn disloc_mg_y() -> DftSystemSpec {
+    DftSystemSpec::new("DislocMgY", 6016.0, 12_041.0, 96.0e6, 2, true, 8)
+}
+
+/// TwinDislocMgY(A): (36,344 atoms, 75,667 e-) x 4 k-points — 302,668 e-
+/// in the supercell.
+pub fn twin_disloc_mg_y_a() -> DftSystemSpec {
+    DftSystemSpec::new(
+        "TwinDislocMgY(A)",
+        36_344.0,
+        75_667.0,
+        1.7e9 * 36_344.0 / 74_164.0,
+        4,
+        true,
+        8,
+    )
+}
+
+/// TwinDislocMgY(B): (74,164 atoms, 154,781 e-) x 3 k-points — 464,343 e-.
+pub fn twin_disloc_mg_y_b() -> DftSystemSpec {
+    DftSystemSpec::new("TwinDislocMgY(B)", 74_164.0, 154_781.0, 1.7e9, 3, true, 8)
+}
+
+/// TwinDislocMgY(C): (74,164 atoms, 154,781 e-) x 4 k-points — 619,124 e-
+/// in the supercell, M = 1.7e9 DoF: the paper's largest system.
+pub fn twin_disloc_mg_y_c() -> DftSystemSpec {
+    DftSystemSpec::new("TwinDislocMgY(C)", 74_164.0, 154_781.0, 1.7e9, 4, true, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supercell_electron_counts_match_the_paper() {
+        assert_eq!(twin_disloc_mg_y_a().supercell_electrons(), 302_668.0);
+        assert_eq!(twin_disloc_mg_y_b().supercell_electrons(), 464_343.0);
+        assert_eq!(twin_disloc_mg_y_c().supercell_electrons(), 619_124.0);
+        assert_eq!(disloc_mg_y().supercell_electrons(), 24_082.0);
+    }
+
+    #[test]
+    fn ybcd_dof_matches_fig8_caption() {
+        let s = ybcd_quasicrystal();
+        assert_eq!(s.dofs, 75_069_290.0);
+        // 240 Frontier nodes = 1,920 GCDs -> 39.1K DoF per GCD (Sec. 7.1.2)
+        let dof_per_gcd = s.dofs / (240.0 * 8.0);
+        assert!((dof_per_gcd / 1000.0 - 39.1).abs() < 0.1);
+    }
+}

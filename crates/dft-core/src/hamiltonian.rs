@@ -1,0 +1,199 @@
+//! The discrete Kohn-Sham Hamiltonian in the Löwdin-orthonormalized
+//! spectral FE basis.
+//!
+//! With GLL collocation the FE mass matrix is diagonal, so the generalized
+//! eigenproblem `H psi = eps M psi` becomes the standard
+//! `Hhat psihat = eps psihat` with
+//!
+//! ```text
+//! Hhat = -1/2 M^{-1/2} K M^{-1/2} + diag(v_eff)
+//! ```
+//!
+//! (`K` the FE stiffness matrix, `v_eff` the nodal effective potential).
+//! This is exactly the paper's formulation; `Hhat` is applied matrix-free
+//! through the cell-level kernels of [`dft_fem::space::FeSpace`], with
+//! Bloch phases carrying the k-point dependence for complex scalars.
+
+use dft_fem::space::FeSpace;
+use dft_linalg::iterative::LinearOperator;
+use dft_linalg::matrix::Matrix;
+use dft_linalg::scalar::{Real, Scalar};
+
+/// The discrete KS Hamiltonian for one k-point.
+pub struct KsHamiltonian<'a, T: Scalar> {
+    space: &'a FeSpace,
+    /// Effective potential at DoF nodes.
+    v_eff_dof: Vec<f64>,
+    /// Bloch phases per axis (`e^{i k . L}`; ONE for Γ / non-periodic).
+    pub phases: [T; 3],
+}
+
+impl<'a, T: Scalar> KsHamiltonian<'a, T> {
+    /// Build from a full nodal effective potential (restricted to DoFs
+    /// internally).
+    pub fn new(space: &'a FeSpace, v_eff_nodes: &[f64], phases: [T; 3]) -> Self {
+        assert_eq!(v_eff_nodes.len(), space.nnodes());
+        let v_eff_dof = (0..space.ndofs())
+            .map(|d| v_eff_nodes[space.node_of_dof(d)])
+            .collect();
+        Self {
+            space,
+            v_eff_dof,
+            phases,
+        }
+    }
+
+    /// The FE space.
+    pub fn space(&self) -> &FeSpace {
+        self.space
+    }
+
+    /// Diagonal of `Hhat` (for preconditioning and spectral estimates):
+    /// `1/2 s_d^2 K_dd + v_d` (the kinetic diagonal is positive).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let kdiag = self.space.stiffness_diagonal();
+        let s = self.space.inv_sqrt_mass();
+        (0..self.space.ndofs())
+            .map(|d| 0.5 * s[d] * s[d] * kdiag[d] + self.v_eff_dof[d])
+            .collect()
+    }
+}
+
+impl<'a, T: Scalar> LinearOperator<T> for KsHamiltonian<'a, T> {
+    fn dim(&self) -> usize {
+        self.space.ndofs()
+    }
+
+    fn apply(&self, x: &Matrix<T>, y: &mut Matrix<T>) {
+        let nd = self.space.ndofs();
+        assert_eq!(x.nrows(), nd);
+        let s = self.space.inv_sqrt_mass();
+        // xs = M^{-1/2} x
+        let mut xs = x.clone();
+        for j in 0..xs.ncols() {
+            let col = xs.col_mut(j);
+            for (i, v) in col.iter_mut().enumerate() {
+                *v = v.scale(T::Re::from_f64(s[i]));
+            }
+        }
+        // y = K xs ; K is the grad-grad stiffness, i.e. the discrete -∇²,
+        // so the kinetic operator -1/2 ∇² is +1/2 K.
+        self.space.apply_stiffness(&xs, y, self.phases);
+        for j in 0..y.ncols() {
+            let ycol = y.col_mut(j);
+            let xcol = x.col(j);
+            for i in 0..nd {
+                ycol[i] = ycol[i].scale(T::Re::from_f64(0.5 * s[i]))
+                    + xcol[i].scale(T::Re::from_f64(self.v_eff_dof[i]));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_fem::mesh::Mesh3d;
+    use dft_linalg::blas1;
+    use dft_linalg::scalar::C64;
+
+    fn space() -> FeSpace {
+        FeSpace::new(Mesh3d::cube(2, 6.0, 3))
+    }
+
+    #[test]
+    fn hamiltonian_is_symmetric() {
+        let s = space();
+        let v: Vec<f64> = (0..s.nnodes())
+            .map(|n| s.node_coord(n)[0] * 0.1 - 0.3)
+            .collect();
+        let h = KsHamiltonian::<f64>::new(&s, &v, [1.0; 3]);
+        let n = h.dim();
+        let x = Matrix::from_fn(n, 1, |i, _| ((i * 7) as f64 * 0.23).sin());
+        let z = Matrix::from_fn(n, 1, |i, _| ((i * 5) as f64 * 0.31).cos());
+        let mut hx = Matrix::zeros(n, 1);
+        let mut hz = Matrix::zeros(n, 1);
+        h.apply(&x, &mut hx);
+        h.apply(&z, &mut hz);
+        let a = blas1::dot(z.col(0), hx.col(0));
+        let b = blas1::dot(hz.col(0), x.col(0));
+        assert!((a - b).abs() < 1e-10 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn constant_potential_shifts_spectrum() {
+        let s = space();
+        let v0: Vec<f64> = vec![0.0; s.nnodes()];
+        let v5: Vec<f64> = vec![5.0; s.nnodes()];
+        let h0 = KsHamiltonian::<f64>::new(&s, &v0, [1.0; 3]);
+        let h5 = KsHamiltonian::<f64>::new(&s, &v5, [1.0; 3]);
+        let n = h0.dim();
+        let x = Matrix::from_fn(n, 2, |i, j| ((i * 3 + j * 17) as f64 * 0.41).sin());
+        let mut y0 = Matrix::zeros(n, 2);
+        let mut y5 = Matrix::zeros(n, 2);
+        h0.apply(&x, &mut y0);
+        h5.apply(&x, &mut y5);
+        // y5 = y0 + 5 x
+        let mut expect = y0.clone();
+        expect.axpy_inplace(5.0, &x);
+        assert!(y5.max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    fn rayleigh_quotient_positive_for_positive_potential() {
+        let s = space();
+        let v: Vec<f64> = vec![1.0; s.nnodes()];
+        let h = KsHamiltonian::<f64>::new(&s, &v, [1.0; 3]);
+        let n = h.dim();
+        let x = Matrix::from_fn(n, 1, |i, _| ((i * 13) as f64 * 0.7).sin());
+        let mut y = Matrix::zeros(n, 1);
+        h.apply(&x, &mut y);
+        let rq = blas1::dot(x.col(0), y.col(0)) / blas1::dot(x.col(0), x.col(0));
+        assert!(rq > 1.0, "kinetic part positive -> RQ > 1: {rq}");
+    }
+
+    #[test]
+    fn complex_hamiltonian_hermitian_with_phases() {
+        let s = FeSpace::new(Mesh3d::periodic_cube(2, 5.0, 2));
+        let v: Vec<f64> = (0..s.nnodes())
+            .map(|n| (s.node_coord(n)[1] * 0.5).sin())
+            .collect();
+        let phases = [C64::cis(0.4), C64::cis(-0.9), C64::ONE];
+        let h = KsHamiltonian::<C64>::new(&s, &v, phases);
+        let n = h.dim();
+        let x = Matrix::from_fn(n, 1, |i, _| {
+            C64::new(((i * 3) as f64 * 0.5).sin(), ((i * 7) as f64 * 0.2).cos())
+        });
+        let z = Matrix::from_fn(n, 1, |i, _| {
+            C64::new(((i * 11) as f64 * 0.3).cos(), ((i * 5) as f64 * 0.9).sin())
+        });
+        let mut hx = Matrix::zeros(n, 1);
+        let mut hz = Matrix::zeros(n, 1);
+        h.apply(&x, &mut hx);
+        h.apply(&z, &mut hz);
+        let a = blas1::dot(z.col(0), hx.col(0));
+        let b = blas1::dot(hz.col(0), x.col(0));
+        assert!((a - b).abs() < 1e-10, "<z,Hx> = {a:?}, <Hz,x> = {b:?}");
+    }
+
+    #[test]
+    fn diagonal_matches_unit_vector_probe() {
+        let s = space();
+        let v: Vec<f64> = (0..s.nnodes()).map(|n| 0.2 * n as f64 / 100.0).collect();
+        let h = KsHamiltonian::<f64>::new(&s, &v, [1.0; 3]);
+        let n = h.dim();
+        let diag = h.diagonal();
+        for probe in [0, n / 3, n - 1] {
+            let mut e = Matrix::zeros(n, 1);
+            e[(probe, 0)] = 1.0;
+            let mut he = Matrix::zeros(n, 1);
+            h.apply(&e, &mut he);
+            assert!(
+                (he[(probe, 0)] - diag[probe]).abs() < 1e-10,
+                "probe {probe}: {} vs {}",
+                he[(probe, 0)],
+                diag[probe]
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Fermi-Dirac occupations with chemical-potential bisection and the
+//! smearing entropy (the paper's Eq. 1 occupancies `f_i`).
+
+/// Occupations of all k-points, the chemical potential, and the smearing
+/// entropy.
+#[derive(Clone, Debug)]
+pub struct OccupationResult {
+    /// Chemical potential (Fermi level), Hartree.
+    pub mu: f64,
+    /// Occupations per k-point, including the spin factor 2 (each entry in
+    /// `[0, 2]`).
+    pub occupations: Vec<Vec<f64>>,
+    /// Smearing entropy `S = -sum 2 (f ln f + (1-f) ln(1-f))`, k-weighted.
+    pub entropy: f64,
+}
+
+fn fermi(e: f64, mu: f64, kt: f64) -> f64 {
+    let x = (e - mu) / kt;
+    if x > 40.0 {
+        0.0
+    } else if x < -40.0 {
+        1.0
+    } else {
+        1.0 / (1.0 + x.exp())
+    }
+}
+
+/// Find `mu` so the k-weighted, spin-degenerate occupation sum equals
+/// `n_electrons`, then return occupations and entropy.
+///
+/// `weights` are the k-point weights (must sum to 1).
+pub fn fermi_occupations(
+    evals: &[Vec<f64>],
+    weights: &[f64],
+    n_electrons: f64,
+    kt: f64,
+) -> OccupationResult {
+    assert_eq!(evals.len(), weights.len());
+    assert!(kt > 0.0);
+    let max_electrons: f64 = evals
+        .iter()
+        .zip(weights)
+        .map(|(e, &w)| 2.0 * w * e.len() as f64)
+        .sum();
+    assert!(
+        n_electrons <= max_electrons + 1e-9,
+        "not enough states: {n_electrons} electrons, capacity {max_electrons}"
+    );
+
+    let count = |mu: f64| -> f64 {
+        evals
+            .iter()
+            .zip(weights)
+            .map(|(ek, &w)| -> f64 { w * ek.iter().map(|&e| 2.0 * fermi(e, mu, kt)).sum::<f64>() })
+            .sum()
+    };
+
+    let all: Vec<f64> = evals.iter().flatten().copied().collect();
+    let lo0 = all.iter().cloned().fold(f64::INFINITY, f64::min) - 30.0 * kt - 1.0;
+    let hi0 = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 30.0 * kt + 1.0;
+    let (mut lo, mut hi) = (lo0, hi0);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if count(mid) < n_electrons {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let mu = 0.5 * (lo + hi);
+
+    let occupations: Vec<Vec<f64>> = evals
+        .iter()
+        .map(|ek| ek.iter().map(|&e| 2.0 * fermi(e, mu, kt)).collect())
+        .collect();
+    let mut entropy = 0.0;
+    for (occ, &w) in occupations.iter().zip(weights) {
+        for &o in occ {
+            let f = (o / 2.0).clamp(1e-30, 1.0 - 1e-16);
+            let term = f * f.ln() + (1.0 - f) * (1.0 - f).ln();
+            entropy -= 2.0 * w * term;
+        }
+    }
+    OccupationResult {
+        mu,
+        occupations,
+        entropy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupations_sum_to_electron_count() {
+        let evals = vec![vec![-1.0, -0.5, -0.2, 0.1, 0.5, 1.0]];
+        let r = fermi_occupations(&evals, &[1.0], 6.0, 0.01);
+        let total: f64 = r.occupations[0].iter().sum();
+        assert!((total - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zero_temperature_limit_fills_lowest_states() {
+        let evals = vec![vec![-2.0, -1.0, 0.0, 1.0]];
+        let r = fermi_occupations(&evals, &[1.0], 4.0, 1e-4);
+        assert!((r.occupations[0][0] - 2.0).abs() < 1e-6);
+        assert!((r.occupations[0][1] - 2.0).abs() < 1e-6);
+        assert!(r.occupations[0][2] < 1e-6);
+        assert!(r.mu > -1.0 && r.mu < 0.0);
+    }
+
+    #[test]
+    fn degenerate_level_fractionally_occupied() {
+        // 2 electrons in a doubly degenerate level above a filled state
+        let evals = vec![vec![-1.0, 0.0, 0.0]];
+        let r = fermi_occupations(&evals, &[1.0], 4.0, 0.01);
+        assert!((r.occupations[0][1] - 1.0).abs() < 1e-6);
+        assert!((r.occupations[0][2] - 1.0).abs() < 1e-6);
+        assert!(r.entropy > 0.1, "fractional occupation must carry entropy");
+    }
+
+    #[test]
+    fn kpoint_weights_respected() {
+        let evals = vec![vec![-1.0, 0.0], vec![-0.9, 0.1]];
+        let r = fermi_occupations(&evals, &[0.5, 0.5], 2.0, 0.02);
+        let total: f64 = r
+            .occupations
+            .iter()
+            .zip(&[0.5, 0.5])
+            .map(|(o, &w)| -> f64 { w * o.iter().sum::<f64>() })
+            .sum();
+        assert!((total - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn entropy_vanishes_for_integer_occupations() {
+        let evals = vec![vec![-3.0, -2.0, 5.0]];
+        let r = fermi_occupations(&evals, &[1.0], 4.0, 0.005);
+        assert!(r.entropy.abs() < 1e-6, "entropy {}", r.entropy);
+    }
+}

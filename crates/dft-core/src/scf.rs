@@ -1,0 +1,583 @@
+//! The self-consistent field driver (the paper's Eq. 1 loop) and the total
+//! energy assembly.
+//!
+//! One SCF iteration:
+//!
+//! 1. electrostatics — **one** FE Poisson solve for the potential of
+//!    `rho_ion - rho_e` (Gaussian-smeared nuclei make `v_N` and `v_H` a
+//!    single neutral solve, valid for isolated and periodic systems);
+//! 2. exchange-correlation — any [`crate::xc::XcFunctional`] (LDA, PBE,
+//!    MLXC, hidden truth);
+//! 3. ChFES per k-point (complex Bloch path via phases);
+//! 4. Fermi-Dirac occupations with a common chemical potential;
+//! 5. density build, Anderson mixing, convergence check on the density
+//!    residual.
+//!
+//! The total (free) energy uses the band-energy identity
+//! `T_s = sum f eps - integral rho_out v_eff_in` (exact for Ritz pairs of
+//! the discrete Hamiltonian), Gaussian-nucleus electrostatics with analytic
+//! self-energy and short-ranged ion-ion corrections, and the smearing
+//! entropy.
+
+use crate::chebyshev::{chfes, lanczos_bounds, random_subspace, ChfesOptions};
+use crate::hamiltonian::KsHamiltonian;
+use crate::mixing::AndersonMixer;
+use crate::occupation::fermi_occupations;
+use crate::system::AtomicSystem;
+use crate::xc::{evaluate_xc, XcFunctional};
+use dft_fem::field::NodalField;
+use dft_fem::mesh::BoundaryCondition;
+use dft_fem::poisson::{solve_poisson, PoissonBc};
+use dft_fem::space::FeSpace;
+use dft_linalg::matrix::Matrix;
+use dft_linalg::scalar::{Real, Scalar, C64};
+
+/// One Brillouin-zone sampling point (fractional coordinates along each
+/// axis; only periodic axes matter) with its weight.
+#[derive(Clone, Copy, Debug)]
+pub struct KPoint {
+    /// Fractional k along each axis (in `[-1/2, 1/2]`).
+    pub frac: [f64; 3],
+    /// Quadrature weight (weights must sum to 1 across the set).
+    pub weight: f64,
+}
+
+impl KPoint {
+    /// The Γ point with unit weight.
+    pub fn gamma() -> Self {
+        Self {
+            frac: [0.0; 3],
+            weight: 1.0,
+        }
+    }
+    /// True if this is exactly Γ.
+    pub fn is_gamma(&self) -> bool {
+        self.frac.iter().all(|&f| f == 0.0)
+    }
+}
+
+/// SCF configuration.
+#[derive(Clone, Debug)]
+pub struct ScfConfig {
+    /// Number of Kohn-Sham states per k-point.
+    pub n_states: usize,
+    /// Fermi-Dirac smearing temperature (Ha).
+    pub kt: f64,
+    /// Convergence tolerance on the density residual
+    /// `||rho_out - rho_in||_L2 / N_e`.
+    pub tol: f64,
+    /// Maximum SCF iterations.
+    pub max_iter: usize,
+    /// Anderson mixing fraction.
+    pub mixing_alpha: f64,
+    /// Anderson history depth.
+    pub anderson_depth: usize,
+    /// Chebyshev filter degree per ChFES cycle.
+    pub cheb_degree: usize,
+    /// Extra ChFES cycles in the first SCF iteration (the paper's
+    /// "multiple passes of Chebyshev filtering in the initial SCF step").
+    pub first_iter_cf_passes: usize,
+    /// Filter wavefunction block size `B_f`.
+    pub block_size: usize,
+    /// Mixed-precision CholGS / RR (Sec. 5.4.2).
+    pub mixed_precision: bool,
+    /// Relative tolerance of the Poisson CG solves.
+    pub poisson_tol: f64,
+    /// RNG seed for the initial subspace.
+    pub seed: u64,
+    /// Print per-iteration diagnostics.
+    pub verbose: bool,
+}
+
+impl Default for ScfConfig {
+    fn default() -> Self {
+        Self {
+            n_states: 8,
+            kt: 0.01,
+            tol: 1e-6,
+            max_iter: 40,
+            mixing_alpha: 0.3,
+            anderson_depth: 6,
+            cheb_degree: 40,
+            first_iter_cf_passes: 4,
+            block_size: 64,
+            mixed_precision: false,
+            poisson_tol: 1e-10,
+            seed: 42,
+            verbose: false,
+        }
+    }
+}
+
+/// Decomposed total energy (Hartree).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TotalEnergy {
+    /// Band (eigenvalue) energy `sum_k w_k sum_i f_i eps_i`.
+    pub band: f64,
+    /// Kohn-Sham kinetic energy `T_s`.
+    pub kinetic: f64,
+    /// Total electrostatic energy (electron-electron + electron-ion +
+    /// ion-ion), Gaussian-corrected.
+    pub electrostatic: f64,
+    /// Exchange-correlation energy.
+    pub xc: f64,
+    /// Smearing entropy contribution `-kT S`.
+    pub entropy_term: f64,
+    /// Internal energy `T_s + E_es + E_xc`.
+    pub total: f64,
+    /// Free energy `total + entropy_term` (the variational quantity).
+    pub free_energy: f64,
+}
+
+/// SCF outcome.
+pub struct ScfResult {
+    /// Energy decomposition.
+    pub energy: TotalEnergy,
+    /// Eigenvalues per k-point (ascending).
+    pub eigenvalues: Vec<Vec<f64>>,
+    /// Occupations per k-point (0..2 with spin degeneracy).
+    pub occupations: Vec<Vec<f64>>,
+    /// Chemical potential.
+    pub mu: f64,
+    /// Converged electron density (nodal).
+    pub density: NodalField,
+    /// Final XC potential (nodal).
+    pub vxc: Vec<f64>,
+    /// Final effective potential (nodal).
+    pub v_eff: Vec<f64>,
+    /// SCF iterations performed.
+    pub iterations: usize,
+    /// Whether the density residual met the tolerance.
+    pub converged: bool,
+    /// Residual per iteration.
+    pub residual_history: Vec<f64>,
+}
+
+fn poisson_bc_of(space: &FeSpace) -> PoissonBc<'static> {
+    let all_periodic = space
+        .mesh
+        .axes
+        .iter()
+        .all(|a| a.bc() == BoundaryCondition::Periodic);
+    if all_periodic {
+        PoissonBc::Periodic
+    } else {
+        // neutral systems: monopole-free far field
+        PoissonBc::Dirichlet(&|_| 0.0)
+    }
+}
+
+/// Run the SCF on `space` for `system` with functional `xc` at the given
+/// k-points. Dispatches to the real (Γ-only) or complex (Bloch) scalar
+/// path.
+pub fn scf(
+    space: &FeSpace,
+    system: &AtomicSystem,
+    xc: &dyn XcFunctional,
+    cfg: &ScfConfig,
+    kpts: &[KPoint],
+) -> ScfResult {
+    let gamma_only = kpts.len() == 1 && kpts[0].is_gamma();
+    if gamma_only {
+        scf_impl::<f64>(space, system, xc, cfg, kpts)
+    } else {
+        scf_impl::<C64>(space, system, xc, cfg, kpts)
+    }
+}
+
+/// Force the complex-scalar code path regardless of the k-point set
+/// (used by tests to validate the Bloch machinery at Γ).
+pub fn scf_complex(
+    space: &FeSpace,
+    system: &AtomicSystem,
+    xc: &dyn XcFunctional,
+    cfg: &ScfConfig,
+    kpts: &[KPoint],
+) -> ScfResult {
+    scf_impl::<C64>(space, system, xc, cfg, kpts)
+}
+
+use private_scalar_ext::ScalarExt;
+mod private_scalar_ext {
+    use super::*;
+    /// Object-safe helper so `scf_impl` can stay generic.
+    pub trait ScalarExt: Scalar {
+        /// The imaginary unit (panics for real scalars).
+        fn imag() -> Self;
+    }
+    impl ScalarExt for f64 {
+        fn imag() -> Self {
+            panic!("no imaginary unit in f64")
+        }
+    }
+    impl ScalarExt for C64 {
+        fn imag() -> Self {
+            C64::I
+        }
+    }
+}
+
+fn scf_impl<T: Scalar + ScalarExt>(
+    space: &FeSpace,
+    system: &AtomicSystem,
+    xc: &dyn XcFunctional,
+    cfg: &ScfConfig,
+    kpts: &[KPoint],
+) -> ScfResult {
+    let nd = space.ndofs();
+    let n_el = system.n_electrons();
+    assert!(cfg.n_states * 2 >= n_el.ceil() as usize, "not enough states");
+    assert!(cfg.n_states <= nd, "more states than DoFs");
+    let wsum: f64 = kpts.iter().map(|k| k.weight).sum();
+    assert!((wsum - 1.0).abs() < 1e-10, "k-point weights must sum to 1");
+
+    let rho_ion = system.ion_density(space);
+    let mut rho_in = system.initial_density(space);
+    let mut mixer = AndersonMixer::new(
+        cfg.mixing_alpha,
+        cfg.anderson_depth,
+        space.mass_diag().to_vec(),
+    );
+
+    // per-k state
+    let mut psi: Vec<Matrix<T>> = (0..kpts.len())
+        .map(|ik| random_subspace::<T>(nd, cfg.n_states, cfg.seed + ik as u64))
+        .collect();
+    // per-k filter window (a0 = below wanted spectrum, a = just above it)
+    let mut filter_window: Vec<Option<(f64, f64)>> = vec![None; kpts.len()];
+
+    let mut result_energy = TotalEnergy::default();
+    let mut eigenvalues: Vec<Vec<f64>> = vec![vec![]; kpts.len()];
+    let mut occupations: Vec<Vec<f64>> = vec![vec![]; kpts.len()];
+    let mut mu = 0.0;
+    let mut vxc_nodes = vec![0.0; space.nnodes()];
+    let mut v_eff = vec![0.0; space.nnodes()];
+    let mut residual_history = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+    let mut rho_out = rho_in.clone();
+    let e_ii_corr = system.ion_ion_correction(space);
+    let kweights: Vec<f64> = kpts.iter().map(|k| k.weight).collect();
+
+    for iter in 0..cfg.max_iter {
+        iterations = iter + 1;
+        // ---- effective potential from rho_in --------------------------
+        let rho_charge: Vec<f64> = (0..space.nnodes())
+            .map(|i| rho_ion[i] - rho_in[i])
+            .collect();
+        let (phi, pst) = solve_poisson(space, &rho_charge, poisson_bc_of(space), cfg.poisson_tol, 20000);
+        assert!(pst.converged, "Poisson solve failed at SCF iter {iter}");
+        let rho_in_field = NodalField::from_values(space, rho_in.clone());
+        let xce = evaluate_xc(space, &rho_in_field, xc);
+        vxc_nodes = xce.vxc.clone();
+        for i in 0..space.nnodes() {
+            v_eff[i] = -phi[i] + vxc_nodes[i];
+        }
+
+        // ---- eigenproblem per k-point ----------------------------------
+        for (ik, k) in kpts.iter().enumerate() {
+            let ph = phases_for::<T>(space, k);
+            let h = KsHamiltonian::<T>::new(space, &v_eff, ph);
+            let (tmin, tmax) = lanczos_bounds(&h, 10, cfg.seed + 1000 + ik as u64);
+            let passes = if iter == 0 { cfg.first_iter_cf_passes } else { 1 };
+            let opts = ChfesOptions {
+                cheb_degree: cfg.cheb_degree,
+                block_size: cfg.block_size,
+                mixed_precision: cfg.mixed_precision,
+            };
+            let (mut a0, mut a) = filter_window[ik].unwrap_or((
+                tmin - 1.0,
+                tmin + 0.1 * (tmax - tmin),
+            ));
+            // keep the window consistent with the fresh upper bound
+            a0 = a0.min(tmin - 1.0);
+            a = a.clamp(a0 + 1e-3 * (tmax - a0), 0.9 * tmax);
+            let mut evals = vec![];
+            for _ in 0..passes {
+                evals = chfes(&h, &mut psi[ik], (a0, a, tmax), &opts);
+                // filter edge just above the wanted spectrum: amplifying a
+                // wide unwanted band stalls SCF convergence
+                let top = evals[cfg.n_states - 1];
+                let spread = (top - evals[0]).max(0.1);
+                let gap = (2.0 * cfg.kt).max(spread / cfg.n_states as f64);
+                a = (top + gap).min(0.9 * tmax);
+                a0 = evals[0] - 1.0;
+            }
+            filter_window[ik] = Some((a0, a));
+            eigenvalues[ik] = evals;
+        }
+
+        // ---- occupations & density -------------------------------------
+        let occ = fermi_occupations(&eigenvalues, &kweights, n_el, cfg.kt);
+        mu = occ.mu;
+        occupations = occ.occupations.clone();
+
+        rho_out = vec![0.0; space.nnodes()];
+        let s = space.inv_sqrt_mass();
+        for ik in 0..kpts.len() {
+            let w = kpts[ik].weight;
+            for i in 0..cfg.n_states {
+                let f = occupations[ik][i];
+                if f < 1e-14 {
+                    continue;
+                }
+                let col = psi[ik].col(i);
+                for d in 0..nd {
+                    let amp = col[d].abs_sq().to_f64() * s[d] * s[d];
+                    rho_out[space.node_of_dof(d)] += w * f * amp;
+                }
+            }
+        }
+
+        // ---- total energy (with rho_out) --------------------------------
+        let band: f64 = (0..kpts.len())
+            .map(|ik| -> f64 {
+                kpts[ik].weight
+                    * eigenvalues[ik]
+                        .iter()
+                        .zip(&occupations[ik])
+                        .map(|(&e, &f)| e * f)
+                        .sum::<f64>()
+            })
+            .sum();
+        let rho_veff: f64 = space.integrate(
+            &(0..space.nnodes())
+                .map(|i| rho_out[i] * v_eff[i])
+                .collect::<Vec<_>>(),
+        );
+        let kinetic = band - rho_veff;
+        let rho_charge_out: Vec<f64> = (0..space.nnodes())
+            .map(|i| rho_ion[i] - rho_out[i])
+            .collect();
+        let (phi_out, _) =
+            solve_poisson(space, &rho_charge_out, poisson_bc_of(space), cfg.poisson_tol, 20000);
+        let e_es_gauss = 0.5
+            * space.integrate(
+                &(0..space.nnodes())
+                    .map(|i| rho_charge_out[i] * phi_out[i])
+                    .collect::<Vec<_>>(),
+            );
+        let rho_out_field = NodalField::from_values(space, rho_out.clone());
+        let xc_out = evaluate_xc(space, &rho_out_field, xc);
+        let electrostatic = e_es_gauss + e_ii_corr;
+        let total = kinetic + electrostatic + xc_out.energy;
+        let entropy_term = -cfg.kt * occ.entropy;
+        result_energy = TotalEnergy {
+            band,
+            kinetic,
+            electrostatic,
+            xc: xc_out.energy,
+            entropy_term,
+            total,
+            free_energy: total + entropy_term,
+        };
+
+        // ---- convergence & mixing ---------------------------------------
+        let diff: Vec<f64> = (0..space.nnodes())
+            .map(|i| (rho_out[i] - rho_in[i]).powi(2))
+            .collect();
+        let residual = space.integrate(&diff).sqrt() / n_el;
+        residual_history.push(residual);
+        if cfg.verbose {
+            println!(
+                "SCF {iter:3}  E = {:+.8} Ha   resid = {residual:.3e}   mu = {mu:+.4}",
+                result_energy.free_energy
+            );
+        }
+        if residual < cfg.tol {
+            converged = true;
+            break;
+        }
+        rho_in = mixer.mix(&rho_in, &rho_out);
+    }
+
+    ScfResult {
+        energy: result_energy,
+        eigenvalues,
+        occupations,
+        mu,
+        density: NodalField::from_values(space, rho_out),
+        vxc: vxc_nodes,
+        v_eff,
+        iterations,
+        converged,
+        residual_history,
+    }
+}
+
+/// Bloch phases `e^{i 2 pi f_d}` for k-point `k` in scalar type `T`.
+fn phases_for<T: Scalar + ScalarExt>(space: &FeSpace, k: &KPoint) -> [T; 3] {
+    let mut ph = [T::ONE; 3];
+    for d in 0..3 {
+        if space.mesh.axes[d].bc() == BoundaryCondition::Periodic && k.frac[d] != 0.0 {
+            let theta = 2.0 * std::f64::consts::PI * k.frac[d];
+            if T::IS_COMPLEX {
+                ph[d] = T::from_f64(theta.cos())
+                    + T::imag().scale(<T::Re as Real>::from_f64(theta.sin()));
+            } else {
+                let c = theta.cos().round();
+                assert!(
+                    (theta.sin()).abs() < 1e-12 && (c.abs() - 1.0).abs() < 1e-12,
+                    "real path supports only Γ / zone-boundary k-points"
+                );
+                ph[d] = T::from_f64(c);
+            }
+        }
+    }
+    ph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{Atom, AtomKind};
+    use crate::xc::{Lda, SyntheticTruth};
+    use dft_fem::mesh::{Axis, Mesh3d};
+
+    fn atom_space(l: f64, n: usize, p: usize) -> FeSpace {
+        let c = l / 2.0;
+        let ax = || Axis::graded(0.0, l, 0.5, l / n as f64, &[c], 3.0, BoundaryCondition::Dirichlet);
+        FeSpace::new(Mesh3d::new([ax(), ax(), ax()], p))
+    }
+
+    fn quick_cfg(n_states: usize) -> ScfConfig {
+        ScfConfig {
+            n_states,
+            kt: 0.02,
+            tol: 1e-5,
+            max_iter: 30,
+            cheb_degree: 30,
+            first_iter_cf_passes: 5,
+            ..ScfConfig::default()
+        }
+    }
+
+    #[test]
+    fn hydrogen_like_atom_binds() {
+        // 1 electron in a z=1 smeared nucleus with LDA: expect a bound
+        // ground state near (but above) -0.5 Ha modulo smearing and
+        // self-interaction.
+        let space = atom_space(12.0, 3, 3);
+        let c = 6.0;
+        let sys = AtomicSystem::new(vec![Atom {
+            kind: AtomKind::AllElectron { z: 1.0, r_c: 0.4 },
+            pos: [c, c, c],
+        }]);
+        let r = scf(&space, &sys, &Lda, &quick_cfg(4), &[KPoint::gamma()]);
+        assert!(r.converged, "residuals {:?}", r.residual_history);
+        assert!(
+            r.energy.free_energy < -0.2 && r.energy.free_energy > -0.75,
+            "E = {}",
+            r.energy.free_energy
+        );
+        // density integrates to one electron
+        assert!((r.density.integrate(&space) - 1.0).abs() < 1e-6);
+        // ground state is bound
+        assert!(r.eigenvalues[0][0] < 0.0);
+    }
+
+    #[test]
+    fn helium_like_scf_converges_and_is_stable() {
+        let space = atom_space(12.0, 3, 3);
+        let c = 6.0;
+        let sys = AtomicSystem::new(vec![Atom {
+            kind: AtomKind::Pseudo { z: 2.0, r_c: 0.5 },
+            pos: [c, c, c],
+        }]);
+        let r = scf(&space, &sys, &Lda, &quick_cfg(4), &[KPoint::gamma()]);
+        assert!(r.converged);
+        assert!((r.density.integrate(&space) - 2.0).abs() < 1e-6);
+        // kinetic energy positive, XC negative, bound total
+        assert!(r.energy.kinetic > 0.0, "T_s = {}", r.energy.kinetic);
+        assert!(r.energy.xc < 0.0);
+        assert!(r.energy.free_energy < 0.0);
+        // residual decreased by orders of magnitude
+        let first = r.residual_history[0];
+        let last = *r.residual_history.last().unwrap();
+        assert!(last < 1e-3 * first);
+    }
+
+    #[test]
+    fn truth_and_lda_give_different_energies() {
+        let space = atom_space(12.0, 3, 3);
+        let c = 6.0;
+        let sys = AtomicSystem::new(vec![Atom {
+            kind: AtomKind::Pseudo { z: 2.0, r_c: 0.5 },
+            pos: [c, c, c],
+        }]);
+        let r_lda = scf(&space, &sys, &Lda, &quick_cfg(4), &[KPoint::gamma()]);
+        let r_tru = scf(&space, &sys, &SyntheticTruth, &quick_cfg(4), &[KPoint::gamma()]);
+        assert!(r_lda.converged && r_tru.converged);
+        let d = (r_lda.energy.free_energy - r_tru.energy.free_energy).abs();
+        assert!(d > 1e-3, "functionals should disagree: diff = {d}");
+    }
+
+    #[test]
+    fn complex_gamma_matches_real_path() {
+        let space = FeSpace::new(Mesh3d::periodic_cube(2, 6.0, 3));
+        let sys = AtomicSystem::new(vec![Atom {
+            kind: AtomKind::Pseudo { z: 2.0, r_c: 0.8 },
+            pos: [3.0, 3.0, 3.0],
+        }]);
+        let cfg = quick_cfg(4);
+        let r_real = scf(&space, &sys, &Lda, &cfg, &[KPoint::gamma()]);
+        let r_cplx = scf_complex(&space, &sys, &Lda, &cfg, &[KPoint::gamma()]);
+        assert!(r_real.converged && r_cplx.converged);
+        assert!(
+            (r_real.energy.free_energy - r_cplx.energy.free_energy).abs() < 1e-5,
+            "real {} vs complex {}",
+            r_real.energy.free_energy,
+            r_cplx.energy.free_energy
+        );
+    }
+
+    #[test]
+    fn periodic_kpoint_sampling_runs_and_shifts_energy() {
+        // periodic box with one soft atom: 2 k-points along z
+        let space = FeSpace::new(Mesh3d::periodic_cube(2, 6.0, 3));
+        let sys = AtomicSystem::new(vec![Atom {
+            kind: AtomKind::Pseudo { z: 2.0, r_c: 0.8 },
+            pos: [3.0, 3.0, 3.0],
+        }]);
+        let cfg = quick_cfg(4);
+        let kpts = [
+            KPoint {
+                frac: [0.0, 0.0, 0.0],
+                weight: 0.5,
+            },
+            KPoint {
+                frac: [0.0, 0.0, 0.25],
+                weight: 0.5,
+            },
+        ];
+        let r = scf(&space, &sys, &Lda, &cfg, &kpts);
+        assert!(r.converged, "residuals {:?}", r.residual_history);
+        assert_eq!(r.eigenvalues.len(), 2);
+        // the two k-points have different spectra
+        let d0 = (r.eigenvalues[0][0] - r.eigenvalues[1][0]).abs();
+        assert!(d0 > 1e-6, "k-dispersion expected, got {d0}");
+        assert!((r.density.integrate(&space) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_precision_scf_matches_fp64_energy() {
+        let space = atom_space(12.0, 3, 3);
+        let c = 6.0;
+        let sys = AtomicSystem::new(vec![Atom {
+            kind: AtomKind::Pseudo { z: 2.0, r_c: 0.5 },
+            pos: [c, c, c],
+        }]);
+        let mut cfg = quick_cfg(4);
+        let r64 = scf(&space, &sys, &Lda, &cfg, &[KPoint::gamma()]);
+        cfg.mixed_precision = true;
+        let rmx = scf(&space, &sys, &Lda, &cfg, &[KPoint::gamma()]);
+        assert!(r64.converged && rmx.converged);
+        // paper: mixed precision stays within the discretization accuracy
+        assert!(
+            (r64.energy.free_energy - rmx.energy.free_energy).abs() < 1e-4,
+            "fp64 {} vs mixed {}",
+            r64.energy.free_energy,
+            rmx.energy.free_energy
+        );
+    }
+}

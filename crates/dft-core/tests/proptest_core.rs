@@ -1,0 +1,77 @@
+//! Property-based tests of the Kohn-Sham solver invariants.
+
+use dft_core::occupation::fermi_occupations;
+use dft_core::xc::{Lda, Pbe, SyntheticTruth, XcFunctional};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn occupations_conserve_electrons(
+        evals in proptest::collection::vec(-3.0..3.0f64, 6..20),
+        frac in 0.1..0.9f64,
+        kt in 0.001..0.1f64,
+    ) {
+        let mut e = evals.clone();
+        e.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n_el = (2.0 * e.len() as f64 * frac).max(1.0).floor();
+        let r = fermi_occupations(&[e.clone()], &[1.0], n_el, kt);
+        let total: f64 = r.occupations[0].iter().sum();
+        prop_assert!((total - n_el).abs() < 1e-6);
+        // occupations within [0, 2] and monotone non-increasing in energy
+        for w in r.occupations[0].windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &f in &r.occupations[0] {
+            prop_assert!((-1e-12..=2.0 + 1e-12).contains(&f));
+        }
+        prop_assert!(r.entropy >= -1e-12);
+    }
+
+    #[test]
+    fn lda_potential_is_energy_derivative(rho in 0.01..5.0f64) {
+        let h = rho * 1e-6;
+        let p = Lda.eval_point(rho, 0.0);
+        let fd = (Lda.eval_point(rho + h, 0.0).e - Lda.eval_point(rho - h, 0.0).e) / (2.0 * h);
+        prop_assert!((p.de_drho - fd).abs() < 1e-4 * fd.abs().max(1e-8));
+    }
+
+    #[test]
+    fn gga_energy_density_negative_and_monotone_gradients(
+        rho in 0.01..3.0f64,
+        g in 0.0..3.0f64,
+    ) {
+        for f in [&Pbe as &dyn XcFunctional, &SyntheticTruth] {
+            let p = f.eval_point(rho, g);
+            prop_assert!(p.e < 0.0, "XC energy density must be negative");
+            prop_assert!(p.e.is_finite() && p.de_drho.is_finite() && p.de_dgrad.is_finite());
+            // enhancement: gradients only make exchange more negative
+            let p0 = f.eval_point(rho, 0.0);
+            prop_assert!(p.e <= p0.e + 1e-3 * p0.e.abs());
+        }
+    }
+
+    #[test]
+    fn xc_ladder_distinct_for_inhomogeneous_density(rho in 0.05..2.0f64, g in 0.5..2.5f64) {
+        let lda = Lda.eval_point(rho, g).e;
+        let pbe = Pbe.eval_point(rho, g).e;
+        let tru = SyntheticTruth.eval_point(rho, g).e;
+        prop_assert!((lda - pbe).abs() > 1e-8);
+        prop_assert!((pbe - tru).abs() > 1e-9);
+    }
+}
+
+#[test]
+fn fermi_occupations_multi_kpoint_weighting() {
+    // unequal weights: occupancy sum must respect them exactly
+    let evals = vec![vec![-1.0, 0.0, 1.0], vec![-0.8, 0.1, 0.9]];
+    let r = fermi_occupations(&evals, &[0.25, 0.75], 3.0, 0.05);
+    let total: f64 = r
+        .occupations
+        .iter()
+        .zip(&[0.25, 0.75])
+        .map(|(o, &w)| -> f64 { w * o.iter().sum::<f64>() })
+        .sum();
+    assert!((total - 3.0).abs() < 1e-8);
+}

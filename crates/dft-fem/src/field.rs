@@ -1,0 +1,296 @@
+//! Nodal scalar fields on an [`FeSpace`]: construction, integration,
+//! gradients, point evaluation.
+//!
+//! Electron densities, potentials and XC energy densities are all nodal
+//! fields; the PBE/MLXC descriptors additionally need `|grad rho|`, which is
+//! computed by mass-weighted cell-gradient recovery.
+
+use crate::space::FeSpace;
+
+/// A real scalar field stored at every FE node (including Dirichlet
+/// boundary nodes).
+#[derive(Clone, Debug)]
+pub struct NodalField {
+    /// Value at each node.
+    pub values: Vec<f64>,
+}
+
+impl NodalField {
+    /// Zero field.
+    pub fn zeros(space: &FeSpace) -> Self {
+        Self {
+            values: vec![0.0; space.nnodes()],
+        }
+    }
+
+    /// Sample an analytic function at every node.
+    pub fn from_fn(space: &FeSpace, f: impl Fn([f64; 3]) -> f64) -> Self {
+        Self {
+            values: (0..space.nnodes()).map(|n| f(space.node_coord(n))).collect(),
+        }
+    }
+
+    /// Wrap an existing nodal vector.
+    pub fn from_values(space: &FeSpace, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), space.nnodes());
+        Self { values }
+    }
+
+    /// `integral f dV`.
+    pub fn integrate(&self, space: &FeSpace) -> f64 {
+        space.integrate(&self.values)
+    }
+
+    /// `integral f g dV` (diagonal-mass inner product).
+    pub fn inner(&self, space: &FeSpace, other: &NodalField) -> f64 {
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .zip(space.mass_diag().iter())
+            .map(|((&a, &b), &m)| a * b * m)
+            .sum()
+    }
+
+    /// L2 norm.
+    pub fn norm_l2(&self, space: &FeSpace) -> f64 {
+        self.inner(space, self).sqrt()
+    }
+
+    /// Pointwise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> NodalField {
+        NodalField {
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Nodal gradient by mass-weighted recovery of cell-level collocation
+    /// derivatives. Returns `[d/dx, d/dy, d/dz]` nodal fields.
+    pub fn gradient(&self, space: &FeSpace) -> [NodalField; 3] {
+        let n1 = space.mesh.degree + 1;
+        let nloc = n1 * n1 * n1;
+        let b = &space.basis;
+        let mut gx = vec![0.0; space.nnodes()];
+        let mut gy = vec![0.0; space.nnodes()];
+        let mut gz = vec![0.0; space.nnodes()];
+        let mut loc = vec![0.0; nloc];
+        let one = [1.0f64; 3];
+        // temporary per-cell derivative values + per-node global indices
+        let mut dfydx = vec![0.0; nloc];
+        let mut dfdy = vec![0.0; nloc];
+        let mut dfdz = vec![0.0; nloc];
+        for cell in space.cells() {
+            space.gather_cell_nodes(cell, &self.values, one, &mut loc);
+            let (jx, jy, jz) = (2.0 / cell.h[0], 2.0 / cell.h[1], 2.0 / cell.h[2]);
+            for c in 0..n1 {
+                for bb in 0..n1 {
+                    for a in 0..n1 {
+                        let idx = a + n1 * (bb + n1 * c);
+                        let mut dx = 0.0;
+                        let mut dy = 0.0;
+                        let mut dz = 0.0;
+                        for j in 0..n1 {
+                            dx += b.d(a, j) * loc[j + n1 * (bb + n1 * c)];
+                            dy += b.d(bb, j) * loc[a + n1 * (j + n1 * c)];
+                            dz += b.d(c, j) * loc[a + n1 * (bb + n1 * j)];
+                        }
+                        dfydx[idx] = dx * jx;
+                        dfdy[idx] = dy * jy;
+                        dfdz[idx] = dz * jz;
+                    }
+                }
+            }
+            // mass-weighted scatter
+            let jac = cell.h[0] * cell.h[1] * cell.h[2] / 8.0;
+            let mut idx = 0;
+            for c in 0..n1 {
+                for bb in 0..n1 {
+                    for a in 0..n1 {
+                        let w = b.weights[a] * b.weights[bb] * b.weights[c] * jac;
+                        let node = space.cell_local_to_node(cell, a, bb, c);
+                        gx[node] += w * dfydx[idx];
+                        gy[node] += w * dfdy[idx];
+                        gz[node] += w * dfdz[idx];
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        let m = space.mass_diag();
+        for i in 0..gx.len() {
+            gx[i] /= m[i];
+            gy[i] /= m[i];
+            gz[i] /= m[i];
+        }
+        [
+            NodalField { values: gx },
+            NodalField { values: gy },
+            NodalField { values: gz },
+        ]
+    }
+
+    /// `|grad f|` as a nodal field.
+    pub fn gradient_magnitude(&self, space: &FeSpace) -> NodalField {
+        let [gx, gy, gz] = self.gradient(space);
+        NodalField {
+            values: (0..self.values.len())
+                .map(|i| {
+                    (gx.values[i] * gx.values[i]
+                        + gy.values[i] * gy.values[i]
+                        + gz.values[i] * gz.values[i])
+                        .sqrt()
+                })
+                .collect(),
+        }
+    }
+
+    /// Evaluate the FE interpolant at an arbitrary point inside the domain.
+    pub fn eval(&self, space: &FeSpace, point: [f64; 3]) -> f64 {
+        let (cell_idx, xi) = space.locate(point);
+        let n1 = space.mesh.degree + 1;
+        let lx = space.basis.eval_all(xi[0]);
+        let ly = space.basis.eval_all(xi[1]);
+        let lz = space.basis.eval_all(xi[2]);
+        let cell = &space.cells()[cell_idx];
+        let mut loc = vec![0.0; n1 * n1 * n1];
+        space.gather_cell_nodes(cell, &self.values, [1.0; 3], &mut loc);
+        let mut acc = 0.0;
+        let mut idx = 0;
+        for c in 0..n1 {
+            for b in 0..n1 {
+                for a in 0..n1 {
+                    acc += loc[idx] * lx[a] * ly[b] * lz[c];
+                    idx += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl FeSpace {
+    /// Global node index of local node `(a, b, c)` in `cell` (wrapping
+    /// periodically).
+    pub fn cell_local_to_node(&self, cell: &crate::space::Cell, a: usize, b: usize, c: usize) -> usize {
+        let p = self.mesh.degree;
+        let na = self.n_axis();
+        let w = |ci: usize, l: usize, n: usize, per: bool| -> usize {
+            let g = ci * p + l;
+            if per && g >= n {
+                g - n
+            } else {
+                g
+            }
+        };
+        let perx = self.mesh.axes[0].bc() == crate::mesh::BoundaryCondition::Periodic;
+        let pery = self.mesh.axes[1].bc() == crate::mesh::BoundaryCondition::Periodic;
+        let perz = self.mesh.axes[2].bc() == crate::mesh::BoundaryCondition::Periodic;
+        let gx = w(cell.c[0], a, na[0], perx);
+        let gy = w(cell.c[1], b, na[1], pery);
+        let gz = w(cell.c[2], c, na[2], perz);
+        gx + na[0] * (gy + na[1] * gz)
+    }
+
+    /// Locate the cell containing `point` and the reference coordinates
+    /// `xi in [-1,1]^3` within it.
+    pub fn locate(&self, point: [f64; 3]) -> (usize, [f64; 3]) {
+        let mut cidx = [0usize; 3];
+        let mut xi = [0.0f64; 3];
+        for d in 0..3 {
+            let bnd = self.mesh.axes[d].boundaries();
+            let x = point[d]
+                .max(bnd[0])
+                .min(bnd[bnd.len() - 1] - 1e-14 * (1.0 + bnd[bnd.len() - 1].abs()));
+            // binary search for the cell
+            let mut lo = 0usize;
+            let mut hi = bnd.len() - 2;
+            while lo < hi {
+                let mid = (lo + hi + 1) / 2;
+                if bnd[mid] <= x {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            cidx[d] = lo;
+            xi[d] = 2.0 * (x - bnd[lo]) / (bnd[lo + 1] - bnd[lo]) - 1.0;
+        }
+        let nc = [
+            self.mesh.axes[0].ncells(),
+            self.mesh.axes[1].ncells(),
+            self.mesh.axes[2].ncells(),
+        ];
+        (cidx[0] + nc[0] * (cidx[1] + nc[1] * cidx[2]), xi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh3d;
+
+    fn space(p: usize) -> FeSpace {
+        FeSpace::new(Mesh3d::cube(2, 4.0, p))
+    }
+
+    #[test]
+    fn constant_field_integrates_to_volume() {
+        let s = space(3);
+        let f = NodalField::from_fn(&s, |_| 2.5);
+        assert!((f.integrate(&s) - 2.5 * 64.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gradient_of_polynomial_is_exact() {
+        let s = space(3);
+        // f = x^2 y + z (degree <= p in each variable)
+        let f = NodalField::from_fn(&s, |[x, y, z]| x * x * y + z);
+        let [gx, gy, gz] = f.gradient(&s);
+        for n in 0..s.nnodes() {
+            let [x, y, _] = s.node_coord(n);
+            assert!((gx.values[n] - 2.0 * x * y).abs() < 1e-9, "gx at node {n}");
+            assert!((gy.values[n] - x * x).abs() < 1e-9, "gy at node {n}");
+            assert!((gz.values[n] - 1.0).abs() < 1e-9, "gz at node {n}");
+        }
+    }
+
+    #[test]
+    fn gradient_magnitude_of_linear_field() {
+        let s = space(2);
+        let f = NodalField::from_fn(&s, |[x, y, z]| 3.0 * x + 4.0 * y + 0.0 * z);
+        let g = f.gradient_magnitude(&s);
+        for &v in &g.values {
+            assert!((v - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eval_reproduces_polynomial_between_nodes() {
+        let s = space(4);
+        let f = NodalField::from_fn(&s, |[x, y, z]| x * y * z + x * x);
+        for pt in [[0.7, 1.3, 2.9], [3.99, 0.01, 1.5], [2.0, 2.0, 2.0]] {
+            let exact = pt[0] * pt[1] * pt[2] + pt[0] * pt[0];
+            assert!((f.eval(&s, pt) - exact).abs() < 1e-9, "at {pt:?}");
+        }
+    }
+
+    #[test]
+    fn locate_finds_correct_cell() {
+        let s = space(2);
+        let (c, xi) = s.locate([1.0, 3.0, 0.5]);
+        // cells are [0,2] and [2,4] per axis; expect cell (0,1,0) = 0+2*(1+2*0)=2
+        assert_eq!(c, 2);
+        assert!((xi[0] - 0.0).abs() < 1e-12); // 1.0 is midpoint of [0,2]
+        assert!((xi[1] - 0.0).abs() < 1e-12);
+        assert!((xi[2] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_symmetry_and_positivity() {
+        let s = space(2);
+        let f = NodalField::from_fn(&s, |[x, y, z]| (x - y).sin() + z);
+        let g = NodalField::from_fn(&s, |[x, y, z]| x + y * z);
+        assert!((f.inner(&s, &g) - g.inner(&s, &f)).abs() < 1e-12);
+        assert!(f.inner(&s, &f) > 0.0);
+        assert!((f.norm_l2(&s).powi(2) - f.inner(&s, &f)).abs() < 1e-10);
+    }
+}

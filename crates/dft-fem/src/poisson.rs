@@ -1,0 +1,280 @@
+//! FE Poisson solves for the electrostatic potentials.
+//!
+//! The Hartree potential `v_H` and (in the all-electron path) the nuclear
+//! potential `v_N` solve `-nabla^2 v = 4 pi rho` on the FE mesh (the paper's
+//! "EP" step). Dirichlet data for isolated systems comes from a multipole
+//! (monopole) far field; fully periodic domains use the zero-mean gauge.
+
+use crate::space::{FeSpace, StiffnessOperator};
+use dft_linalg::iterative::{cg, DiagonalPrec, IterStats, LinearOperator};
+use dft_linalg::matrix::Matrix;
+
+/// Boundary treatment for a Poisson solve.
+pub enum PoissonBc<'a> {
+    /// Dirichlet values prescribed on every boundary node, from the given
+    /// function of position (e.g. `-q/r` monopole far field).
+    Dirichlet(&'a dyn Fn([f64; 3]) -> f64),
+    /// Fully periodic domain: the right-hand side is projected to zero mean
+    /// (compatibility) and the solution is returned in the zero-mean gauge.
+    Periodic,
+}
+
+/// Stiffness operator with the constant null space projected out, for the
+/// periodic (singular) Poisson problem. `K 1 = 0` and `1^T K = 0`, so `K x`
+/// is orthogonal to the constants analytically; the projection only guards
+/// against round-off drift in long CG runs.
+struct ProjectedStiffness<'a> {
+    inner: StiffnessOperator<'a>,
+}
+
+impl<'a> LinearOperator<f64> for ProjectedStiffness<'a> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn apply(&self, x: &Matrix<f64>, y: &mut Matrix<f64>) {
+        self.inner.apply(x, y);
+        let n = y.nrows() as f64;
+        for j in 0..y.ncols() {
+            let mean: f64 = y.col(j).iter().sum::<f64>() / n;
+            for v in y.col_mut(j) {
+                *v -= mean;
+            }
+        }
+    }
+}
+
+/// Solve `-nabla^2 phi = 4 pi rho` on the FE space.
+///
+/// `rho` is a full nodal vector; the returned potential is also a full
+/// nodal vector. `tol` is the relative CG tolerance. Returns the potential
+/// and the CG statistics.
+pub fn solve_poisson(
+    space: &FeSpace,
+    rho: &[f64],
+    bc: PoissonBc<'_>,
+    tol: f64,
+    max_iter: usize,
+) -> (Vec<f64>, IterStats) {
+    assert_eq!(rho.len(), space.nnodes());
+    let nd = space.ndofs();
+    let four_pi = 4.0 * std::f64::consts::PI;
+
+    match bc {
+        PoissonBc::Dirichlet(g) => {
+            // Lift: phi = phi0 + phi_bc, phi_bc prescribed on boundary nodes.
+            let mut phi_bc = vec![0.0; space.nnodes()];
+            for n in 0..space.nnodes() {
+                if space.dof_of_node(n).is_none() {
+                    phi_bc[n] = g(space.node_coord(n));
+                }
+            }
+            // rhs = 4 pi M rho - K phi_bc, restricted to dofs
+            let mut k_bc = vec![0.0; space.nnodes()];
+            space.apply_stiffness_nodes(&phi_bc, &mut k_bc);
+            let mut rhs = vec![0.0; nd];
+            for d in 0..nd {
+                let n = space.node_of_dof(d);
+                rhs[d] = four_pi * space.mass_diag()[n] * rho[n] - k_bc[n];
+            }
+            let op = StiffnessOperator::new(space);
+            let prec = DiagonalPrec::from_diagonal(&space.stiffness_diagonal());
+            let mut x = vec![0.0; nd];
+            let stats = cg(&op, &prec, &rhs, &mut x, tol, max_iter);
+            let mut phi = phi_bc;
+            for d in 0..nd {
+                phi[space.node_of_dof(d)] = x[d];
+            }
+            (phi, stats)
+        }
+        PoissonBc::Periodic => {
+            assert_eq!(nd, space.nnodes(), "periodic Poisson expects no Dirichlet dofs");
+            // compatibility: subtract the mean charge
+            let total_q = space.integrate(rho);
+            let vol: f64 = space.mesh.volume();
+            let mean = total_q / vol;
+            let mut rhs = vec![0.0; nd];
+            for d in 0..nd {
+                let n = space.node_of_dof(d);
+                rhs[d] = four_pi * space.mass_diag()[n] * (rho[n] - mean);
+            }
+            // A (numerically) uniform charge is fully neutralized: phi = 0.
+            let rhs_norm = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let scale = four_pi * space.integrate(&rho.iter().map(|v| v.abs()).collect::<Vec<_>>())
+                + 1.0;
+            if rhs_norm < 1e-12 * scale {
+                return (
+                    vec![0.0; space.nnodes()],
+                    IterStats {
+                        iterations: 0,
+                        iterations_per_column: vec![0],
+                        final_residuals: vec![0.0],
+                        converged: true,
+                    },
+                );
+            }
+            let weights: Vec<f64> = (0..nd)
+                .map(|d| space.mass_diag()[space.node_of_dof(d)])
+                .collect();
+            let wsum: f64 = weights.iter().sum();
+            let op = ProjectedStiffness {
+                inner: StiffnessOperator::new(space),
+            };
+            let prec = DiagonalPrec::from_diagonal(&space.stiffness_diagonal());
+            let mut x = vec![0.0; nd];
+            let stats = cg(&op, &prec, &rhs, &mut x, tol, max_iter);
+            // zero-mean gauge
+            let mean_phi: f64 = x
+                .iter()
+                .zip(weights.iter())
+                .map(|(&v, &w)| v * w)
+                .sum::<f64>()
+                / wsum;
+            let mut phi = vec![0.0; space.nnodes()];
+            for d in 0..nd {
+                phi[space.node_of_dof(d)] = x[d] - mean_phi;
+            }
+            (phi, stats)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::NodalField;
+    use crate::mesh::Mesh3d;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn manufactured_dirichlet_solution() {
+        // phi = sin(pi x/L) sin(pi y/L) sin(pi z/L) on [0,L]^3 with phi=0 on
+        // the boundary; -lap phi = 3 (pi/L)^2 phi = 4 pi rho
+        let l = 2.0;
+        let s = FeSpace::new(Mesh3d::cube(3, l, 4));
+        let kk = 3.0 * (PI / l) * (PI / l);
+        let phi_exact = NodalField::from_fn(&s, |[x, y, z]| {
+            (PI * x / l).sin() * (PI * y / l).sin() * (PI * z / l).sin()
+        });
+        let rho: Vec<f64> = phi_exact.values.iter().map(|&p| kk * p / (4.0 * PI)).collect();
+        let zero = |_: [f64; 3]| 0.0;
+        let (phi, stats) = solve_poisson(&s, &rho, PoissonBc::Dirichlet(&zero), 1e-12, 5000);
+        assert!(stats.converged);
+        let mut max_err = 0.0_f64;
+        for n in 0..s.nnodes() {
+            max_err = max_err.max((phi[n] - phi_exact.values[n]).abs());
+        }
+        assert!(max_err < 5e-4, "max error {max_err}");
+    }
+
+    #[test]
+    fn dirichlet_solution_converges_with_p() {
+        let l = 2.0;
+        let kk = 3.0 * (PI / l) * (PI / l);
+        let mut errs = vec![];
+        for p in [2usize, 4] {
+            let s = FeSpace::new(Mesh3d::cube(2, l, p));
+            let phi_exact = NodalField::from_fn(&s, |[x, y, z]| {
+                (PI * x / l).sin() * (PI * y / l).sin() * (PI * z / l).sin()
+            });
+            let rho: Vec<f64> =
+                phi_exact.values.iter().map(|&v| kk * v / (4.0 * PI)).collect();
+            let zero = |_: [f64; 3]| 0.0;
+            let (phi, _) = solve_poisson(&s, &rho, PoissonBc::Dirichlet(&zero), 1e-13, 8000);
+            let err = phi
+                .iter()
+                .zip(phi_exact.values.iter())
+                .map(|(&a, &b)| (a - b).abs())
+                .fold(0.0_f64, f64::max);
+            errs.push(err);
+        }
+        assert!(
+            errs[1] < errs[0] / 20.0,
+            "spectral convergence expected: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn periodic_plane_wave_solution() {
+        // rho = cos(2 pi x / L) / (4 pi) * (2 pi / L)^2 -> phi = cos(2 pi x/L)
+        let l = 3.0;
+        let s = FeSpace::new(Mesh3d::periodic_cube(3, l, 4));
+        let k = 2.0 * PI / l;
+        let rho: Vec<f64> = (0..s.nnodes())
+            .map(|n| {
+                let x = s.node_coord(n)[0];
+                k * k * (k * x).cos() / (4.0 * PI)
+            })
+            .collect();
+        let (phi, stats) = solve_poisson(&s, &rho, PoissonBc::Periodic, 1e-12, 5000);
+        assert!(stats.converged);
+        let mut max_err = 0.0_f64;
+        for n in 0..s.nnodes() {
+            let x = s.node_coord(n)[0];
+            max_err = max_err.max((phi[n] - (k * x).cos()).abs());
+        }
+        assert!(max_err < 1e-3, "max error {max_err}");
+    }
+
+    #[test]
+    fn periodic_neutralizes_uniform_charge() {
+        // constant rho must produce (numerically) zero potential after the
+        // compatibility projection
+        let s = FeSpace::new(Mesh3d::periodic_cube(2, 2.0, 2));
+        let rho = vec![0.7; s.nnodes()];
+        let (phi, stats) = solve_poisson(&s, &rho, PoissonBc::Periodic, 1e-12, 2000);
+        assert!(stats.converged);
+        assert!(phi.iter().all(|&v| v.abs() < 1e-8));
+    }
+
+    #[test]
+    fn gaussian_charge_matches_erf_potential() {
+        // rho(r) = q (alpha/pi)^{3/2} exp(-alpha r^2) centred in the box;
+        // phi(r) = q erf(sqrt(alpha) r)/r. Use the exact potential as
+        // Dirichlet data so the only error is interior discretization.
+        let l = 8.0;
+        let s = FeSpace::new(Mesh3d::cube(4, l, 4));
+        let q = 2.0;
+        let alpha = 1.0;
+        let ctr = [l / 2.0, l / 2.0, l / 2.0];
+        let rho: Vec<f64> = (0..s.nnodes())
+            .map(|n| {
+                let c = s.node_coord(n);
+                let r2 = (0..3).map(|d| (c[d] - ctr[d]).powi(2)).sum::<f64>();
+                q * (alpha / PI).powf(1.5) * (-alpha * r2).exp()
+            })
+            .collect();
+        let phi_exact = |c: [f64; 3]| -> f64 {
+            let r = (0..3)
+                .map(|d| (c[d] - ctr[d]).powi(2))
+                .sum::<f64>()
+                .sqrt()
+                .max(1e-12);
+            q * erf_approx(alpha.sqrt() * r) / r
+        };
+        let (phi, stats) = solve_poisson(&s, &rho, PoissonBc::Dirichlet(&phi_exact), 1e-12, 8000);
+        assert!(stats.converged);
+        // check at a probe point off the nodes
+        let f = NodalField::from_values(&s, phi);
+        for probe in [[5.0, 4.0, 4.0], [3.0, 3.0, 5.0]] {
+            let got = f.eval(&s, probe);
+            let want = phi_exact(probe);
+            assert!(
+                (got - want).abs() < 5e-3 * want.abs().max(0.1),
+                "at {probe:?}: {got} vs {want}"
+            );
+        }
+    }
+
+    /// Abramowitz-Stegun 7.1.26 erf approximation (|err| < 1.5e-7).
+    fn erf_approx(x: f64) -> f64 {
+        let sign = if x < 0.0 { -1.0 } else { 1.0 };
+        let x = x.abs();
+        let t = 1.0 / (1.0 + 0.3275911 * x);
+        let y = 1.0
+            - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+                + 0.254829592)
+                * t
+                * (-x * x).exp();
+        sign * y
+    }
+}

@@ -1,0 +1,392 @@
+//! A real (threaded) message-passing runtime: the MPI stand-in.
+//!
+//! Ranks are OS threads connected by crossbeam channels. Point-to-point
+//! messages and collectives move actual bytes, and every send records its
+//! wire volume, so the paper's mixed-precision communication claims
+//! (Sec. 5.4.2: FP32 on FE partition boundaries halves traffic while
+//! retaining FP64 accuracy) are *testable* rather than asserted.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Precision used on the wire for floating-point payloads.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WirePrecision {
+    /// Full FP64 payloads.
+    Fp64,
+    /// Demote to FP32 on send, promote on receive (the paper's boundary-
+    /// communication trick).
+    Fp32,
+}
+
+impl WirePrecision {
+    /// Bytes per scalar on the wire.
+    pub fn bytes(self) -> usize {
+        match self {
+            WirePrecision::Fp64 => 8,
+            WirePrecision::Fp32 => 4,
+        }
+    }
+}
+
+struct Packet {
+    src: usize,
+    tag: u64,
+    data: Vec<u8>,
+}
+
+/// Shared byte/message counters for a cluster run.
+#[derive(Default)]
+pub struct CommStats {
+    /// Total payload bytes sent by all ranks (point-to-point + collectives).
+    pub bytes_sent: AtomicU64,
+    /// Total messages sent.
+    pub messages: AtomicU64,
+}
+
+/// One rank's endpoint in a threaded cluster.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Packet>>,
+    receiver: Receiver<Packet>,
+    pending: VecDeque<Packet>,
+    stats: Arc<CommStats>,
+}
+
+impl ThreadComm {
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Shared traffic statistics.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Send raw bytes to `dst` with a user `tag`.
+    pub fn send_bytes(&self, dst: usize, tag: u64, data: Vec<u8>) {
+        self.stats
+            .bytes_sent
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.senders[dst]
+            .send(Packet {
+                src: self.rank,
+                tag,
+                data,
+            })
+            .expect("receiver dropped");
+    }
+
+    /// Blocking receive of a message from `src` with `tag` (out-of-order
+    /// arrivals are buffered).
+    pub fn recv_bytes(&mut self, src: usize, tag: u64) -> Vec<u8> {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|p| p.src == src && p.tag == tag)
+        {
+            return self.pending.remove(pos).unwrap().data;
+        }
+        loop {
+            let p = self.receiver.recv().expect("all senders dropped");
+            if p.src == src && p.tag == tag {
+                return p.data;
+            }
+            self.pending.push_back(p);
+        }
+    }
+
+    /// Send an `f64` slice, demoting to the requested wire precision.
+    pub fn send_f64(&self, dst: usize, tag: u64, data: &[f64], wire: WirePrecision) {
+        let bytes = match wire {
+            WirePrecision::Fp64 => {
+                let mut b = Vec::with_capacity(data.len() * 8);
+                for v in data {
+                    b.extend_from_slice(&v.to_le_bytes());
+                }
+                b
+            }
+            WirePrecision::Fp32 => {
+                let mut b = Vec::with_capacity(data.len() * 4);
+                for v in data {
+                    b.extend_from_slice(&(*v as f32).to_le_bytes());
+                }
+                b
+            }
+        };
+        // tag the wire format in the high bit of the tag space
+        let wire_tag = tag << 1 | if wire == WirePrecision::Fp32 { 1 } else { 0 };
+        self.send_bytes(dst, wire_tag, bytes);
+    }
+
+    /// Receive an `f64` slice sent with [`Self::send_f64`] (promoting FP32
+    /// payloads back to FP64).
+    pub fn recv_f64(&mut self, src: usize, tag: u64, wire: WirePrecision) -> Vec<f64> {
+        let wire_tag = tag << 1 | if wire == WirePrecision::Fp32 { 1 } else { 0 };
+        let bytes = self.recv_bytes(src, wire_tag);
+        match wire {
+            WirePrecision::Fp64 => bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+            WirePrecision::Fp32 => bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()) as f64)
+                .collect(),
+        }
+    }
+
+    /// Barrier across all ranks (dissemination via rank 0).
+    pub fn barrier(&mut self) {
+        const TAG: u64 = (1 << 60) + 1;
+        if self.rank == 0 {
+            for r in 1..self.size {
+                let _ = self.recv_bytes(r, TAG);
+            }
+            for r in 1..self.size {
+                self.send_bytes(r, TAG, vec![]);
+            }
+        } else {
+            self.send_bytes(0, TAG, vec![]);
+            let _ = self.recv_bytes(0, TAG);
+        }
+    }
+
+    /// In-place allreduce(sum) over `f64` buffers, with selectable wire
+    /// precision (gather-to-root + broadcast; the accumulation itself is
+    /// always FP64, matching the paper's "FP32 wire, FP64 math" scheme).
+    pub fn allreduce_sum_f64(&mut self, data: &mut [f64], wire: WirePrecision) {
+        const TAG: u64 = (1 << 60) + 1000;
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            let mut acc = data.to_vec();
+            for r in 1..self.size {
+                let contrib = self.recv_f64(r, TAG + r as u64, wire);
+                for (a, &c) in acc.iter_mut().zip(contrib.iter()) {
+                    *a += c;
+                }
+            }
+            for r in 1..self.size {
+                self.send_f64(r, TAG, &acc, wire);
+            }
+            data.copy_from_slice(&acc);
+        } else {
+            self.send_f64(0, TAG + self.rank as u64, data, wire);
+            let red = self.recv_f64(0, TAG, wire);
+            data.copy_from_slice(&red);
+        }
+    }
+
+    /// Broadcast from rank 0.
+    pub fn broadcast_f64(&mut self, data: &mut [f64]) {
+        const TAG: u64 = (1 << 60) + 5000;
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            for r in 1..self.size {
+                self.send_f64(r, TAG, data, WirePrecision::Fp64);
+            }
+        } else {
+            let v = self.recv_f64(0, TAG, WirePrecision::Fp64);
+            data.copy_from_slice(&v);
+        }
+    }
+
+    /// Gather per-rank scalars at every rank (small allgather).
+    pub fn allgather_scalar(&mut self, v: f64) -> Vec<f64> {
+        let mut buf = vec![0.0; self.size];
+        buf[self.rank] = v;
+        // naive: allreduce of a one-hot vector
+        self.allreduce_sum_f64(&mut buf, WirePrecision::Fp64);
+        buf
+    }
+}
+
+/// Run `f` on `n` ranks (threads) and collect the per-rank results in rank
+/// order. Returns the results and the shared traffic statistics.
+pub fn run_cluster<T, F>(n: usize, f: F) -> (Vec<T>, Arc<CommStats>)
+where
+    T: Send,
+    F: Fn(&mut ThreadComm) -> T + Send + Sync,
+{
+    assert!(n >= 1);
+    let stats = Arc::new(CommStats::default());
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let mut comms: Vec<ThreadComm> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| ThreadComm {
+            rank,
+            size: n,
+            senders: senders.clone(),
+            receiver,
+            pending: VecDeque::new(),
+            stats: Arc::clone(&stats),
+        })
+        .collect();
+    drop(senders);
+
+    let results: Vec<T> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .iter_mut()
+            .map(|c| scope.spawn(|| f(c)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_point_to_point() {
+        let (results, _) = run_cluster(4, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send_f64(next, 7, &[c.rank() as f64], WirePrecision::Fp64);
+            let got = c.recv_f64(prev, 7, WirePrecision::Fp64);
+            got[0]
+        });
+        assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let (results, _) = run_cluster(5, |c| {
+            let mut v = vec![c.rank() as f64, 1.0];
+            c.allreduce_sum_f64(&mut v, WirePrecision::Fp64);
+            v
+        });
+        for r in results {
+            assert_eq!(r, vec![10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn fp32_wire_halves_traffic() {
+        let payload: Vec<f64> = (0..1000).map(|i| i as f64 * 0.001).collect();
+        let (_, stats64) = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64(1, 1, &payload, WirePrecision::Fp64);
+            } else {
+                let _ = c.recv_f64(0, 1, WirePrecision::Fp64);
+            }
+        });
+        let (_, stats32) = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64(1, 1, &payload, WirePrecision::Fp32);
+            } else {
+                let _ = c.recv_f64(0, 1, WirePrecision::Fp32);
+            }
+        });
+        let b64 = stats64.bytes_sent.load(Ordering::Relaxed);
+        let b32 = stats32.bytes_sent.load(Ordering::Relaxed);
+        assert_eq!(b64, 8000);
+        assert_eq!(b32, 4000);
+    }
+
+    #[test]
+    fn fp32_wire_retains_small_relative_error() {
+        let payload: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+        let (results, _) = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64(1, 2, &payload, WirePrecision::Fp32);
+                vec![]
+            } else {
+                c.recv_f64(0, 2, WirePrecision::Fp32)
+            }
+        });
+        let got = &results[1];
+        for (a, b) in payload.iter().zip(got.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn allreduce_fp32_wire_accumulates_in_fp64() {
+        // each rank contributes 1e-3; with 8 ranks the FP64 accumulation
+        // keeps full precision even if each wire hop rounds to FP32
+        let (results, _) = run_cluster(8, |c| {
+            let mut v = vec![1e-3];
+            c.allreduce_sum_f64(&mut v, WirePrecision::Fp32);
+            v[0]
+        });
+        for r in results {
+            assert!((r - 8e-3).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::AtomicUsize;
+        let phase1 = Arc::new(AtomicUsize::new(0));
+        let p1 = Arc::clone(&phase1);
+        let (results, _) = run_cluster(4, move |c| {
+            p1.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // after the barrier every rank must observe all increments
+            p1.load(Ordering::SeqCst)
+        });
+        assert!(results.iter().all(|&v| v == 4));
+    }
+
+    #[test]
+    fn allgather_scalar_collects_all() {
+        let (results, _) = run_cluster(3, |c| c.allgather_scalar((c.rank() * 10) as f64));
+        for r in results {
+            assert_eq!(r, vec![0.0, 10.0, 20.0]);
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let (results, _) = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64(1, 100, &[1.0], WirePrecision::Fp64);
+                c.send_f64(1, 200, &[2.0], WirePrecision::Fp64);
+                0.0
+            } else {
+                // receive in reverse order
+                let b = c.recv_f64(0, 200, WirePrecision::Fp64)[0];
+                let a = c.recv_f64(0, 100, WirePrecision::Fp64)[0];
+                a + 10.0 * b
+            }
+        });
+        assert_eq!(results[1], 21.0);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_noops() {
+        let (results, _) = run_cluster(1, |c| {
+            let mut v = vec![3.5];
+            c.allreduce_sum_f64(&mut v, WirePrecision::Fp64);
+            c.barrier();
+            c.broadcast_f64(&mut v);
+            v[0]
+        });
+        assert_eq!(results[0], 3.5);
+    }
+}

@@ -1,0 +1,109 @@
+//! FLOP and byte counters plus wall-clock timers — the "timers and FLOP
+//! count" measurement mechanism the paper declares in its performance
+//! attributes table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cheap, thread-safe FLOP counter shareable across kernels.
+#[derive(Clone, Default)]
+pub struct FlopCounter {
+    count: Arc<AtomicU64>,
+}
+
+impl FlopCounter {
+    /// New zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `flops` to the tally.
+    #[inline]
+    pub fn add(&self, flops: u64) {
+        self.count.fetch_add(flops, Ordering::Relaxed);
+    }
+
+    /// Current tally.
+    pub fn get(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero, returning the previous tally.
+    pub fn reset(&self) -> u64 {
+        self.count.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// A named section timer accumulating wall time over repeated scopes.
+pub struct SectionTimer {
+    /// Section label ("CF", "CholGS-S", ...).
+    pub name: String,
+    elapsed: f64,
+    started: Option<Instant>,
+}
+
+impl SectionTimer {
+    /// New timer with a label.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            elapsed: 0.0,
+            started: None,
+        }
+    }
+
+    /// Start (or restart) the section.
+    pub fn start(&mut self) {
+        self.started = Some(Instant::now());
+    }
+
+    /// Stop and accumulate.
+    pub fn stop(&mut self) {
+        if let Some(t0) = self.started.take() {
+            self.elapsed += t0.elapsed().as_secs_f64();
+        }
+    }
+
+    /// Accumulated seconds.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let c = FlopCounter::new();
+        let c2 = c.clone();
+        c.add(10);
+        c2.add(32);
+        assert_eq!(c.get(), 42);
+        assert_eq!(c.reset(), 42);
+        assert_eq!(c2.get(), 0);
+    }
+
+    #[test]
+    fn timer_accumulates() {
+        let mut t = SectionTimer::new("CF");
+        t.start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        t.stop();
+        let one = t.seconds();
+        assert!(one >= 0.004);
+        t.start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        t.stop();
+        assert!(t.seconds() > one);
+    }
+
+    #[test]
+    fn stop_without_start_is_noop() {
+        let mut t = SectionTimer::new("x");
+        t.stop();
+        assert_eq!(t.seconds(), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Dual-stream discrete-event timeline.
+//!
+//! The paper overlaps GPU compute with data movement by issuing work on two
+//! GPU streams (Sec. 5.4.3): while block `k` of `H X` is being computed, the
+//! partition-boundary communication of block `k-1` is in flight. This module
+//! reproduces that execution model: tasks are bound to a [`Stream`], run in
+//! issue order within their stream, and may additionally depend on tasks in
+//! other streams. The makespan of such a DAG is exactly the walltime the
+//! overlap schedule would achieve.
+
+/// Execution stream of a task.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Stream {
+    /// GPU compute stream.
+    Compute,
+    /// Data-movement stream (MPI / NCCL / host-device copies).
+    Comm,
+    /// Host (CPU) serial work.
+    Host,
+}
+
+/// Identifier returned by [`Timeline::add`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TaskId(usize);
+
+struct Task {
+    stream: Stream,
+    duration: f64,
+    deps: Vec<TaskId>,
+    finish: f64,
+}
+
+/// An append-only task DAG with per-stream FIFO ordering.
+#[derive(Default)]
+pub struct Timeline {
+    tasks: Vec<Task>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a task of `duration` seconds on `stream`, ordered after all
+    /// earlier tasks on the same stream and after every task in `deps`.
+    /// Durations must be non-negative.
+    pub fn add(&mut self, stream: Stream, duration: f64, deps: &[TaskId]) -> TaskId {
+        assert!(duration >= 0.0 && duration.is_finite());
+        // compute finish time eagerly: stream-FIFO + dep edges
+        let stream_ready = self
+            .tasks
+            .iter()
+            .filter(|t| t.stream == stream)
+            .map(|t| t.finish)
+            .fold(0.0, f64::max);
+        let dep_ready = deps
+            .iter()
+            .map(|d| self.tasks[d.0].finish)
+            .fold(0.0, f64::max);
+        let start = stream_ready.max(dep_ready);
+        let finish = start + duration;
+        self.tasks.push(Task {
+            stream,
+            duration,
+            deps: deps.to_vec(),
+            finish,
+        });
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Finish time of a specific task.
+    pub fn finish_of(&self, id: TaskId) -> f64 {
+        self.tasks[id.0].finish
+    }
+
+    /// Total makespan (finish time of the last-finishing task).
+    pub fn makespan(&self) -> f64 {
+        self.tasks.iter().map(|t| t.finish).fold(0.0, f64::max)
+    }
+
+    /// Sum of all task durations (the walltime a fully serial schedule
+    /// would take) — useful for quantifying overlap benefit.
+    pub fn serial_time(&self) -> f64 {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// Busy time per stream.
+    pub fn stream_time(&self, stream: Stream) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.stream == stream)
+            .map(|t| t.duration)
+            .sum()
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no tasks have been added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Consistency check used in tests: every task finishes no earlier than
+    /// each of its dependencies plus its own duration.
+    pub fn validate(&self) -> bool {
+        self.tasks.iter().all(|t| {
+            t.deps
+                .iter()
+                .all(|d| t.finish >= self.tasks[d.0].finish + t.duration - 1e-12)
+        })
+    }
+}
+
+/// Build the classic pipelined block schedule: `n` blocks, each with a
+/// compute task and a communication task that depends on its compute; with
+/// `overlap`, comm of block `k` proceeds while compute of block `k+1` runs
+/// (two streams), otherwise everything serializes on one stream.
+///
+/// Returns the makespan. This is the paper's Sec. 5.4.3 pattern for the
+/// `H X` boundary exchange and for the CholGS-S / RR-P allreduce pipelines.
+pub fn pipelined_blocks(n: usize, t_compute: f64, t_comm: f64, overlap: bool) -> f64 {
+    let mut tl = Timeline::new();
+    for _ in 0..n {
+        let comm_stream = if overlap { Stream::Comm } else { Stream::Compute };
+        let c = tl.add(Stream::Compute, t_compute, &[]);
+        tl.add(comm_stream, t_comm, &[c]);
+    }
+    tl.makespan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_chain_adds_up() {
+        let mut tl = Timeline::new();
+        let a = tl.add(Stream::Compute, 1.0, &[]);
+        let b = tl.add(Stream::Compute, 2.0, &[a]);
+        tl.add(Stream::Compute, 3.0, &[b]);
+        assert!((tl.makespan() - 6.0).abs() < 1e-12);
+        assert!(tl.validate());
+    }
+
+    #[test]
+    fn independent_streams_overlap() {
+        let mut tl = Timeline::new();
+        tl.add(Stream::Compute, 5.0, &[]);
+        tl.add(Stream::Comm, 3.0, &[]);
+        assert!((tl.makespan() - 5.0).abs() < 1e-12);
+        assert!((tl.serial_time() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_stream_dependency_respected() {
+        let mut tl = Timeline::new();
+        let a = tl.add(Stream::Compute, 2.0, &[]);
+        let b = tl.add(Stream::Comm, 1.0, &[a]);
+        let c = tl.add(Stream::Compute, 1.0, &[b]);
+        assert!((tl.finish_of(c) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_overlap_hides_communication() {
+        // 10 blocks, compute 1s, comm 0.8s:
+        // serial: 10 * 1.8 = 18; overlapped: 10*1 + 0.8 = 10.8
+        let serial = pipelined_blocks(10, 1.0, 0.8, false);
+        let overlapped = pipelined_blocks(10, 1.0, 0.8, true);
+        assert!((serial - 18.0).abs() < 1e-9);
+        assert!((overlapped - 10.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_comm_bound_case() {
+        // comm dominates: makespan ~= first compute + n * t_comm
+        let overlapped = pipelined_blocks(5, 0.2, 1.0, true);
+        assert!((overlapped - (0.2 + 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_times_partition_serial_time() {
+        let mut tl = Timeline::new();
+        tl.add(Stream::Compute, 1.5, &[]);
+        tl.add(Stream::Comm, 2.5, &[]);
+        tl.add(Stream::Host, 0.5, &[]);
+        assert!(
+            (tl.stream_time(Stream::Compute) + tl.stream_time(Stream::Comm)
+                + tl.stream_time(Stream::Host)
+                - tl.serial_time())
+            .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # dft-mlxc
+//!
+//! The **MLXC** module of the paper (Sec. 5.2): a physics-informed deep
+//! neural network exchange-correlation (XC) functional trained on
+//! `{rho_QMB, v_xc^exact}` pairs produced by inverse DFT.
+//!
+//! The energy density ansatz is the paper's Eq. (3):
+//!
+//! ```text
+//! e_xc[rho](r) = rho^{4/3}(r) * phi(xi(r)) * F_DNN(rho, xi, s)
+//! ```
+//!
+//! with relative spin density `xi`, spin-scaling prefactor
+//! `phi = ((1+xi)^{4/3} + (1-xi)^{4/3}) / 2`, and reduced gradient
+//! `s = (3 pi^2)^{1/3} |grad rho| / (2 rho^{4/3})`. The `rho^{4/3}` and
+//! `phi` prefactors enforce the known coordinate- and spin-scaling
+//! relations; `(rho, xi, s)` inputs make the form translationally and
+//! rotationally equivariant.
+//!
+//! The network is the paper's: 5 layers x 80 neurons, ELU activations.
+//! `v_xc = de/drho - div(de/d grad rho)` is needed both at inference
+//! (inside the SCF) and inside the training loss (MSE on the
+//! density-weighted potential), which requires differentiating *through*
+//! the network's input gradient — implemented here as exact, hand-written
+//! double backpropagation ([`nn::Mlp::grad_params`]), validated against
+//! finite differences.
+
+#![deny(unsafe_code)]
+
+pub mod adam;
+pub mod functional;
+pub mod nn;
+pub mod train;
+
+pub use adam::Adam;
+pub use functional::{MlxcModel, PointEval, PointAdjoint};
+pub use nn::Mlp;
+pub use train::{train, Dataset, DivergenceOp, SystemSample, TrainConfig, TrainReport};

@@ -1,0 +1,185 @@
+//! One- and two-electron integrals in the single-particle orbital basis.
+
+use crate::grid1d::{soft_coulomb, Grid1d};
+use dft_linalg::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Integrals over `n_orb` orbitals: `h[pq]` (kinetic + external) and the
+/// chemists'-notation two-electron integrals `(pq|rs)`.
+#[derive(Clone, Debug)]
+pub struct OrbitalIntegrals {
+    /// Number of spatial orbitals.
+    pub n_orb: usize,
+    /// One-electron integrals, row-major `n_orb x n_orb`.
+    pub h1: Vec<f64>,
+    /// Two-electron integrals `(pq|rs)`, index `((p*n+q)*n+r)*n+s`.
+    pub eri: Vec<f64>,
+    /// Orbitals on the grid (for density reconstruction).
+    pub orbitals: Matrix<f64>,
+    /// The grid.
+    pub grid: Grid1d,
+}
+
+impl OrbitalIntegrals {
+    /// Build integrals from grid orbitals and the external potential.
+    /// `orbital_energies` are the eigenvalues of the single-particle
+    /// problem, so `h1` can be formed without re-applying the kinetic
+    /// stencil: `h[pq] = eps_p delta_pq` in the eigenbasis of
+    /// `-1/2 d2/dx2 + v_ext` — exact by construction.
+    pub fn in_eigenbasis(
+        grid: Grid1d,
+        orbital_energies: &[f64],
+        orbitals: Matrix<f64>,
+    ) -> Self {
+        let n_orb = orbital_energies.len();
+        assert_eq!(orbitals.ncols(), n_orb);
+        let mut h1 = vec![0.0; n_orb * n_orb];
+        for p in 0..n_orb {
+            h1[p * n_orb + p] = orbital_energies[p];
+        }
+        let eri = Self::eri_from_orbitals(&grid, &orbitals);
+        Self {
+            n_orb,
+            h1,
+            eri,
+            orbitals,
+            grid,
+        }
+    }
+
+    fn eri_from_orbitals(grid: &Grid1d, orbs: &Matrix<f64>) -> Vec<f64> {
+        let n = grid.n;
+        let no = orbs.ncols();
+        let h = grid.h;
+        // V[pq](x') = h * sum_x phi_p(x) phi_q(x) w(x - x')
+        // exploit symmetry p<=q
+        let npairs = no * (no + 1) / 2;
+        let pair_idx = |p: usize, q: usize| -> usize {
+            let (a, b) = if p <= q { (p, q) } else { (q, p) };
+            a * no - a * (a + 1) / 2 + b
+        };
+        let vpq: Vec<Vec<f64>> = (0..npairs)
+            .into_par_iter()
+            .map(|pi| {
+                // invert pair index
+                let mut p = 0;
+                let mut acc = 0;
+                while acc + (no - p) <= pi {
+                    acc += no - p;
+                    p += 1;
+                }
+                let q = p + (pi - acc);
+                let mut v = vec![0.0; n];
+                for xp in 0..n {
+                    let mut s = 0.0;
+                    for x in 0..n {
+                        s += orbs[(x, p)] * orbs[(x, q)]
+                            * soft_coulomb(grid.x(x) - grid.x(xp));
+                    }
+                    v[xp] = s * h;
+                }
+                v
+            })
+            .collect();
+        // (pq|rs) = h * sum_x' V[pq](x') phi_r(x') phi_s(x')
+        let mut eri = vec![0.0; no * no * no * no];
+        for p in 0..no {
+            for q in 0..no {
+                let vp = &vpq[pair_idx(p, q)];
+                for r in 0..no {
+                    for s in 0..=r {
+                        let mut acc = 0.0;
+                        for xp in 0..n {
+                            acc += vp[xp] * orbs[(xp, r)] * orbs[(xp, s)];
+                        }
+                        acc *= h;
+                        let idx = ((p * no + q) * no + r) * no + s;
+                        eri[idx] = acc;
+                        let idx2 = ((p * no + q) * no + s) * no + r;
+                        eri[idx2] = acc;
+                    }
+                }
+            }
+        }
+        eri
+    }
+
+    /// `(pq|rs)` accessor.
+    #[inline]
+    pub fn g(&self, p: usize, q: usize, r: usize, s: usize) -> f64 {
+        let n = self.n_orb;
+        self.eri[((p * n + q) * n + r) * n + s]
+    }
+
+    /// `h[pq]` accessor.
+    #[inline]
+    pub fn h(&self, p: usize, q: usize) -> f64 {
+        self.h1[p * self.n_orb + q]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_integrals(n_orb: usize) -> OrbitalIntegrals {
+        let grid = Grid1d::symmetric(16.0, 121);
+        let v: Vec<f64> = grid
+            .coords()
+            .iter()
+            .map(|&x| -2.0 / (x * x + 1.0).sqrt())
+            .collect();
+        let (e, orbs) = grid.orbitals(&v, n_orb);
+        OrbitalIntegrals::in_eigenbasis(grid, &e, orbs)
+    }
+
+    #[test]
+    fn eri_symmetries() {
+        let ints = simple_integrals(4);
+        for p in 0..4 {
+            for q in 0..4 {
+                for r in 0..4 {
+                    for s in 0..4 {
+                        let g = ints.g(p, q, r, s);
+                        // (pq|rs) = (qp|rs) = (pq|sr) = (rs|pq)
+                        assert!((g - ints.g(q, p, r, s)).abs() < 1e-10);
+                        assert!((g - ints.g(p, q, s, r)).abs() < 1e-10);
+                        assert!((g - ints.g(r, s, p, q)).abs() < 1e-10);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_eri_positive_and_bounded() {
+        let ints = simple_integrals(3);
+        for p in 0..3 {
+            for q in 0..3 {
+                let g = ints.g(p, p, q, q);
+                assert!(g > 0.0, "Coulomb integral must be positive");
+                assert!(g <= 1.0 + 1e-9, "soft-Coulomb is bounded by 1");
+            }
+        }
+    }
+
+    #[test]
+    fn h1_is_diagonal_with_orbital_energies() {
+        let ints = simple_integrals(3);
+        for p in 0..3 {
+            for q in 0..3 {
+                if p != q {
+                    assert!(ints.h(p, q).abs() < 1e-12);
+                }
+            }
+        }
+        assert!(ints.h(0, 0) < ints.h(1, 1));
+    }
+
+    #[test]
+    fn exchange_smaller_than_hartree() {
+        let ints = simple_integrals(3);
+        // (00|11) >= (01|01) (Cauchy-Schwarz-like for positive kernels)
+        assert!(ints.g(0, 0, 1, 1) >= ints.g(0, 1, 0, 1) - 1e-12);
+    }
+}

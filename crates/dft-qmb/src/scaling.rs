@@ -1,0 +1,87 @@
+//! Cost-scaling probes for the Fig. 1 reproduction: the QMB wall.
+//!
+//! Full CI cost grows combinatorially with electron count; Kohn-Sham DFT
+//! grows as `O(N^3)`. These helpers measure both the determinant-space
+//! dimension and the wall time of the sigma build, giving the data behind
+//! the accessible-system-size axis of Fig. 1.
+
+use crate::fci::{fci_dimension, FciProblem};
+use crate::model::SoftCoulombSystem;
+use std::time::Instant;
+
+/// One scaling data point.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// System name.
+    pub name: String,
+    /// Electron count.
+    pub electrons: usize,
+    /// FCI determinant dimension.
+    pub dimension: usize,
+    /// Seconds for one ground-state solve.
+    pub solve_seconds: f64,
+    /// Ground-state energy (electronic + nuclear).
+    pub energy: f64,
+}
+
+/// Solve the ladder of model systems and record cost growth.
+pub fn qmb_scaling_ladder(n_orb: usize, n_grid: usize, length: f64) -> Vec<ScalingPoint> {
+    let systems = [
+        SoftCoulombSystem::h_atom(),
+        SoftCoulombSystem::he_atom(),
+        SoftCoulombSystem::li_atom(),
+        SoftCoulombSystem::be_atom(),
+    ];
+    systems
+        .iter()
+        .map(|sys| {
+            let ints = sys.integrals(n_orb, n_grid, length);
+            let fci = FciProblem::new(&ints, sys.n_alpha, sys.n_beta);
+            let t0 = Instant::now();
+            let r = fci.solve(1e-8, 300);
+            let dt = t0.elapsed().as_secs_f64();
+            ScalingPoint {
+                name: sys.name.clone(),
+                electrons: sys.n_electrons(),
+                dimension: r.dimension,
+                solve_seconds: dt,
+                energy: r.energy + sys.nuclear_repulsion(),
+            }
+        })
+        .collect()
+}
+
+/// Projected FCI dimension for a hypothetical N-electron system with a
+/// proportional basis (2 orbitals per electron, capped at 28) — used to
+/// extrapolate the Fig. 1 wall.
+pub fn projected_fci_dimension(electrons: usize) -> f64 {
+    let n_orb = (2 * electrons).min(28);
+    let na = electrons / 2 + electrons % 2;
+    let nb = electrons / 2;
+    fci_dimension(n_orb, na, nb) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_grows_combinatorially() {
+        let d2 = projected_fci_dimension(2);
+        let d4 = projected_fci_dimension(4);
+        let d8 = projected_fci_dimension(8);
+        assert!(d4 > 4.0 * d2);
+        assert!(d8 > 20.0 * d4, "d8 = {d8} vs d4 = {d4}");
+    }
+
+    #[test]
+    fn ladder_energies_monotone_with_charge() {
+        let pts = qmb_scaling_ladder(6, 101, 18.0);
+        assert_eq!(pts.len(), 4);
+        // heavier atoms bind more strongly
+        for w in pts.windows(2) {
+            assert!(w[1].energy < w[0].energy, "{w:?}");
+            assert!(w[1].dimension >= w[0].dimension);
+        }
+    }
+}

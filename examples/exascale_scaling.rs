@@ -1,0 +1,59 @@
+//! The exascale headline in one view: simulate the paper's Gordon-Bell
+//! runs (Table 3) and the YbCd strong-scaling study (Fig. 8) with the
+//! calibrated machine models.
+//!
+//! ```sh
+//! cargo run --release --example exascale_scaling
+//! ```
+
+use dft_fe_mlxc::hpc::machine::{ClusterSpec, MachineModel};
+use dft_fe_mlxc::hpc::schedule::{scf_step, DftSystemSpec, SolverOptions};
+
+fn main() {
+    let twin_c = DftSystemSpec::new("TwinDislocMgY(C)", 74_164.0, 154_781.0, 1.7e9, 4, true, 8);
+    let opts = SolverOptions {
+        gpu_aware: false,
+        ..SolverOptions::default()
+    };
+    let r = scf_step(&twin_c, &opts, &ClusterSpec::new(MachineModel::frontier(), 8000));
+    println!("The Gordon-Bell run: {} on 8,000 Frontier nodes", r.system);
+    println!(
+        "  {:.0} supercell electrons, M = {:.2e} FE DoF",
+        twin_c.supercell_electrons(),
+        twin_c.dofs
+    );
+    println!(
+        "  one SCF iteration: {:.1} s, {:.1} PFLOP counted -> {:.1} PFLOPS sustained ({:.1}% of FP64 peak)",
+        r.total_seconds,
+        r.total_pflop,
+        r.sustained_pflops(),
+        100.0 * r.efficiency()
+    );
+    println!("  paper: 513.7 s, 659.7 PFLOPS, 43.1%");
+    println!();
+    println!("per-step breakdown (paper Table 3 order):");
+    for s in &r.steps {
+        println!(
+            "  {:<14} {:>8.1} s {:>12} PFLOP",
+            s.name,
+            s.seconds,
+            s.pflop.map_or("-".into(), |f| format!("{f:.1}"))
+        );
+    }
+    println!();
+    println!("YbCd quasicrystal strong scaling across machines (s/SCF):");
+    let ybcd = DftSystemSpec::new("YbCd", 1943.0, 40_040.0, 75_069_290.0, 1, false, 7);
+    let fast = SolverOptions::default();
+    for (m, nodes) in [
+        (MachineModel::frontier(), vec![60, 240, 960]),
+        (MachineModel::perlmutter(), vec![140, 560, 1120]),
+        (MachineModel::summit(), vec![240, 960, 1920]),
+    ] {
+        print!("  {:<12}", m.name);
+        for n in nodes {
+            let r = scf_step(&ybcd, &fast, &ClusterSpec::new(m.clone(), n));
+            print!("  {n:>5} nodes: {:>7.1}", r.total_seconds);
+        }
+        println!();
+    }
+}
