@@ -55,7 +55,9 @@ fn bench_hamiltonian_apply(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(1));
     g.sample_size(10);
     let space = FeSpace::new(Mesh3d::cube(4, 10.0, 4));
-    let v: Vec<f64> = (0..space.nnodes()).map(|i| (i as f64 * 0.01).sin()).collect();
+    let v: Vec<f64> = (0..space.nnodes())
+        .map(|i| (i as f64 * 0.01).sin())
+        .collect();
     let h = KsHamiltonian::<f64>::new(&space, &v, [1.0; 3]);
     let x = Matrix::from_fn(h.dim(), 16, |i, j| ((i + 31 * j) as f64 * 0.23).sin());
     let mut y = Matrix::zeros(h.dim(), 16);
@@ -88,7 +90,14 @@ fn bench_chfes_steps(c: &mut Criterion) {
     g.bench_function("cf_degree20_8states", |b| {
         b.iter(|| {
             let mut psi = psi0.clone();
-            chebyshev_filter(&h, &mut psi, 20, tmin + 0.2 * (tmax - tmin), tmax, tmin - 1.0);
+            chebyshev_filter(
+                &h,
+                &mut psi,
+                20,
+                tmin + 0.2 * (tmax - tmin),
+                tmax,
+                tmin - 1.0,
+            );
         });
     });
     // CholGS on a tall block

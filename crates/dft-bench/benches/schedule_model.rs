@@ -25,7 +25,11 @@ fn bench_schedule(c: &mut Criterion) {
             for i in 0..10_000 {
                 let deps: Vec<_> = prev.into_iter().collect();
                 let t = tl.add(
-                    if i % 2 == 0 { Stream::Compute } else { Stream::Comm },
+                    if i % 2 == 0 {
+                        Stream::Compute
+                    } else {
+                        Stream::Comm
+                    },
                     1e-3,
                     &deps,
                 );

@@ -21,14 +21,22 @@ fn main() {
     println!("system: {} ({} DoF)", ms.name, space.ndofs());
 
     // standalone shifted solve on the real KS Hamiltonian
-    let truth = scf(&space, &sys, &SyntheticTruth, &ms.scf_config(), &[KPoint::gamma()]);
+    let truth = scf(
+        &space,
+        &sys,
+        &SyntheticTruth,
+        &ms.scf_config(),
+        &[KPoint::gamma()],
+    );
     let h = KsHamiltonian::<f64>::new(&space, &truth.v_eff, [1.0; 3]);
     let nd = space.ndofs();
     let b = Matrix::from_fn(nd, 2, |i, j| ((i * 7 + j * 13) as f64 * 0.37).sin());
     let shifts = [truth.eigenvalues[0][0], truth.eigenvalues[0][1]];
     let kdiag = space.stiffness_diagonal();
     let s = space.inv_sqrt_mass();
-    let lap: Vec<f64> = (0..nd).map(|d| (0.5 * s[d] * s[d] * kdiag[d]).max(1e-3)).collect();
+    let lap: Vec<f64> = (0..nd)
+        .map(|d| (0.5 * s[d] * s[d] * kdiag[d]).max(1e-3))
+        .collect();
     let prec = DiagonalPrec::from_diagonal(&lap);
 
     let mut x0 = Matrix::zeros(nd, 2);

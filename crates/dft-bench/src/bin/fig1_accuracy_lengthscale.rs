@@ -32,7 +32,10 @@ fn main() {
     println!();
     println!("projected FCI dimension (2 orbitals/electron):");
     for n in [2usize, 4, 8, 12, 16, 20] {
-        println!("  N = {n:>3} electrons  ->  dim ~ {:.3e}", projected_fci_dimension(n));
+        println!(
+            "  N = {n:>3} electrons  ->  dim ~ {:.3e}",
+            projected_fci_dimension(n)
+        );
     }
     println!("  => exponential wall at O(10-10^3) electrons (paper Fig. 1, Level 4+)");
 
@@ -42,10 +45,23 @@ fn main() {
     let cluster = ClusterSpec::new(MachineModel::frontier(), 100);
     let mut prev: Option<f64> = None;
     for electrons in [1.0e4, 2.0e4, 4.0e4, 8.0e4] {
-        let sys = DftSystemSpec::new("scaling", electrons / 20.0, electrons, electrons * 1800.0, 1, false, 8);
+        let sys = DftSystemSpec::new(
+            "scaling",
+            electrons / 20.0,
+            electrons,
+            electrons * 1800.0,
+            1,
+            false,
+            8,
+        );
         let r = scf_step(&sys, &SolverOptions::default(), &cluster);
-        let note = prev.map_or(String::new(), |p| format!("  (x{:.1} per 2x electrons)", r.total_seconds / p));
-        println!("  N = {electrons:>9.0} e-   t/SCF = {:>9.1} s{note}", r.total_seconds);
+        let note = prev.map_or(String::new(), |p| {
+            format!("  (x{:.1} per 2x electrons)", r.total_seconds / p)
+        });
+        println!(
+            "  N = {electrons:>9.0} e-   t/SCF = {:>9.1} s{note}",
+            r.total_seconds
+        );
         prev = Some(r.total_seconds);
     }
 
@@ -65,7 +81,13 @@ fn main() {
     let ms = &MiniSystem::test_set()[0];
     let space = ms.space();
     let sys = ms.atomic_system();
-    let truth = scf(&space, &sys, &SyntheticTruth, &ms.scf_config(), &[KPoint::gamma()]);
+    let truth = scf(
+        &space,
+        &sys,
+        &SyntheticTruth,
+        &ms.scf_config(),
+        &[KPoint::gamma()],
+    );
     for (name, f) in funcs {
         let r = scf(&space, &sys, f, &ms.scf_config(), &[KPoint::gamma()]);
         println!(

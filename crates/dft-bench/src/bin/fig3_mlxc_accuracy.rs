@@ -22,7 +22,11 @@ fn main() {
         ..PipelineConfig::default()
     };
     let (model, loss, diags) = train_mlxc_from_invdft(&MiniSystem::training_set(), &cfg);
-    println!("training loss: {:.3e} -> {:.3e}", loss[0], loss.last().unwrap());
+    println!(
+        "training loss: {:.3e} -> {:.3e}",
+        loss[0],
+        loss.last().unwrap()
+    );
     for d in &diags {
         println!(
             "  invDFT {}: |drho| {:.2e} -> {:.2e}",
@@ -32,11 +36,17 @@ fn main() {
 
     section("held-out test set: |E - E_truth| per atom (mHa)");
     let mlxc = MlxcFunctional::new(model);
-    let funcs: [(&str, &dyn XcFunctional); 3] =
-        [("LDA (Level 1)", &Lda), ("PBE (Level 2)", &Pbe), ("MLXC (Level 4+)", &mlxc)];
+    let funcs: [(&str, &dyn XcFunctional); 3] = [
+        ("LDA (Level 1)", &Lda),
+        ("PBE (Level 2)", &Pbe),
+        ("MLXC (Level 4+)", &mlxc),
+    ];
     let mut mae = [0.0f64; 3];
     let tests = MiniSystem::test_set();
-    println!("{:<18} {:>14} {:>14} {:>14}", "system", "LDA", "PBE", "MLXC");
+    println!(
+        "{:<18} {:>14} {:>14} {:>14}",
+        "system", "LDA", "PBE", "MLXC"
+    );
     for ms in &tests {
         let space = ms.space();
         let sys = ms.atomic_system();

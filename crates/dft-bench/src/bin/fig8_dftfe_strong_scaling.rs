@@ -34,7 +34,11 @@ fn main() {
     let perl_nodes = [140usize, 280, 560, 1120];
     let mut tp = Vec::new();
     for &n in &perl_nodes {
-        let r = scf_step(&sys, &opts, &ClusterSpec::new(MachineModel::perlmutter(), n));
+        let r = scf_step(
+            &sys,
+            &opts,
+            &ClusterSpec::new(MachineModel::perlmutter(), n),
+        );
         println!(
             "{:>6} nodes  {:>8.1} s   ({:.1}K DoF/GPU)",
             n,
@@ -73,7 +77,10 @@ fn main() {
     let _ = scf(&space, &sys_a, &mlxc, &cfg, &[KPoint::gamma()]);
     let t_mlxc = t0.elapsed().as_secs_f64();
     println!("PBE  ground state: {t_pbe:.2} s");
-    println!("MLXC ground state: {t_mlxc:.2} s   (ratio {:.2} at miniature scale)", t_mlxc / t_pbe);
+    println!(
+        "MLXC ground state: {t_mlxc:.2} s   (ratio {:.2} at miniature scale)",
+        t_mlxc / t_pbe
+    );
     // At miniature scale the O(M) XC evaluation is a visible share of the
     // iteration; at the paper's scale it is negligible against the
     // O(M N^2) ChFES work, which is why the paper sees ~1.0:

@@ -11,14 +11,78 @@ use dft_hpc::schedule::{scf_step, SolverOptions};
 fn main() {
     section("Table 1 — state of the art (literature rows as cited in the paper)");
     let lit = [
-        ("L1", "RSDFT (2011)", "FD/PSP", "Si nanowire 107K atoms, 430K e-", "K, 450K cores", "73.6 / SCF", "7.1 (43.6%)"),
-        ("L1", "QBox (2008)", "PW/PSP", "Mo 1K atoms x8 k-pts (96K e-)", "BlueGene/L 125K cores", "8.8 / SCF", "0.2 (56.5%)"),
-        ("L2", "DFT-FE (2019)", "FE/AE+PSP", "Mg dislocation 10K atoms, 100K e-", "Summit 22,800 GPUs", "2.4 / SCF", "46 (27.8%)"),
-        ("L2", "PARSEC (2023)", "FD/PSP", "Si nanocluster 100K atoms, 400K e-", "Frontera 115K cores", "2,808 / GS", "-"),
-        ("L3", "Hybrid/ACE (2017)", "PW/PSP", "Si bulk 4,096 atoms, 16K e-", "Cori-KNL 8K cores", "30 / SCF", "-"),
-        ("L4+", "QMCPACK (2018)", "PW/PSP", "NiO 128 atoms, 1,536 e-", "Titan 18,000 GPUs", "294.7 / GS", "-"),
-        ("L4+", "LNO-CCSD(T) (2019)", "Gaussian/AE", "protein 1,023 atoms, 3,980 e-", "Xeon 6 cores", "26,064 / GS", "-"),
-        ("L4+", "MCSCF NWChem (2017)", "Gaussian/AE", "Cr trimer, 72 e-", "Cori 2,048 cores", "57.8 / SCF", "-"),
+        (
+            "L1",
+            "RSDFT (2011)",
+            "FD/PSP",
+            "Si nanowire 107K atoms, 430K e-",
+            "K, 450K cores",
+            "73.6 / SCF",
+            "7.1 (43.6%)",
+        ),
+        (
+            "L1",
+            "QBox (2008)",
+            "PW/PSP",
+            "Mo 1K atoms x8 k-pts (96K e-)",
+            "BlueGene/L 125K cores",
+            "8.8 / SCF",
+            "0.2 (56.5%)",
+        ),
+        (
+            "L2",
+            "DFT-FE (2019)",
+            "FE/AE+PSP",
+            "Mg dislocation 10K atoms, 100K e-",
+            "Summit 22,800 GPUs",
+            "2.4 / SCF",
+            "46 (27.8%)",
+        ),
+        (
+            "L2",
+            "PARSEC (2023)",
+            "FD/PSP",
+            "Si nanocluster 100K atoms, 400K e-",
+            "Frontera 115K cores",
+            "2,808 / GS",
+            "-",
+        ),
+        (
+            "L3",
+            "Hybrid/ACE (2017)",
+            "PW/PSP",
+            "Si bulk 4,096 atoms, 16K e-",
+            "Cori-KNL 8K cores",
+            "30 / SCF",
+            "-",
+        ),
+        (
+            "L4+",
+            "QMCPACK (2018)",
+            "PW/PSP",
+            "NiO 128 atoms, 1,536 e-",
+            "Titan 18,000 GPUs",
+            "294.7 / GS",
+            "-",
+        ),
+        (
+            "L4+",
+            "LNO-CCSD(T) (2019)",
+            "Gaussian/AE",
+            "protein 1,023 atoms, 3,980 e-",
+            "Xeon 6 cores",
+            "26,064 / GS",
+            "-",
+        ),
+        (
+            "L4+",
+            "MCSCF NWChem (2017)",
+            "Gaussian/AE",
+            "Cr trimer, 72 e-",
+            "Cori 2,048 cores",
+            "57.8 / SCF",
+            "-",
+        ),
     ];
     for (lvl, work, basis, system, machine, wall, pflops) in lit {
         println!("{lvl:<4} {work:<20} {basis:<12} {system:<36} {machine:<24} {wall:<12} {pflops}");
@@ -30,10 +94,19 @@ fn main() {
         ..SolverOptions::default()
     };
     for (sys, nodes, paper_wall, paper_pflops) in [
-        (twin_disloc_mg_y_a(), 2400usize, "3.7 min/SCF", "226.3 (49.3%)"),
+        (
+            twin_disloc_mg_y_a(),
+            2400usize,
+            "3.7 min/SCF",
+            "226.3 (49.3%)",
+        ),
         (twin_disloc_mg_y_c(), 8000, "8.6 min/SCF", "659.7 (43.1%)"),
     ] {
-        let r = scf_step(&sys, &opts, &ClusterSpec::new(MachineModel::frontier(), nodes));
+        let r = scf_step(
+            &sys,
+            &opts,
+            &ClusterSpec::new(MachineModel::frontier(), nodes),
+        );
         println!(
             "L4+  DFT-FE-MLXC         FE/AE+PSP    {:<36} Frontier {:>6} GCDs      {:>5.1} min/SCF  {:>6.1} ({:.1}%)   [paper: {} | {}]",
             format!("{} ({:.0}K e- supercell)", r.system, sys.supercell_electrons() / 1000.0),

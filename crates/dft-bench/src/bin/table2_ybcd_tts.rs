@@ -29,12 +29,14 @@ fn main() {
     println!("{:<18} {:>12.0} {:>12}", "Initialization", init, 69);
     println!(
         "{:<18} {:>12.0} {:>12}   (34 SCF steps, {:.1} s/SCF)",
-        "Total SCF",
-        total_scf,
-        2023,
-        r.total_seconds
+        "Total SCF", total_scf, 2023, r.total_seconds
     );
-    println!("{:<18} {:>12.0} {:>12}", "Total run", init + total_scf, 2092);
+    println!(
+        "{:<18} {:>12.0} {:>12}",
+        "Total run",
+        init + total_scf,
+        2092
+    );
     println!();
     println!(
         "time-to-solution: {:.2e} s/GS/electron (paper headline: 3.3e-2)",

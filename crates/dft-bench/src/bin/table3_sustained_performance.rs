@@ -27,7 +27,11 @@ fn main() {
     );
     let mut reports = Vec::new();
     for (sys, nodes, paper) in &cases {
-        let r = scf_step(sys, &opts, &ClusterSpec::new(MachineModel::frontier(), *nodes));
+        let r = scf_step(
+            sys,
+            &opts,
+            &ClusterSpec::new(MachineModel::frontier(), *nodes),
+        );
         println!(
             "{:<20} {:>7} {:>12.1} {:>14.1} {:>6.1} ({:>4.1}%)   {} / {} / {}%",
             r.system,
@@ -60,7 +64,10 @@ fn main() {
                     s.pflops(),
                     100.0 * s.pflops() / r.peak_pflops
                 ),
-                None => println!("{:<14} {:>10.1} {:>12} {:>12} {:>8}", s.name, s.seconds, "-", "-", "-"),
+                None => println!(
+                    "{:<14} {:>10.1} {:>12} {:>12} {:>8}",
+                    s.name, s.seconds, "-", "-", "-"
+                ),
             }
         }
     }

@@ -23,9 +23,7 @@ fn main() {
     );
     let total = 69.0 + 34.0 * r.total_seconds + 4.0 * r.step("CF").seconds;
     let ours_ybcd = total / ybcd.supercell_electrons();
-    println!(
-        "DFT-FE-MLXC (YbCd 40,040 e-):         {ours_ybcd:>10.3}   (paper headline: 0.033)"
-    );
+    println!("DFT-FE-MLXC (YbCd 40,040 e-):         {ours_ybcd:>10.3}   (paper headline: 0.033)");
 
     // TwinDislocMgY(A) at 40 SCF steps
     let a = twin_disloc_mg_y_a();

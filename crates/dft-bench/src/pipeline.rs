@@ -90,9 +90,7 @@ impl MiniSystem {
     /// FE space graded toward the atoms.
     pub fn space(&self) -> FeSpace {
         let c = self.box_l / 2.0;
-        let centers_of = |d: usize| -> Vec<f64> {
-            self.atoms.iter().map(|a| c + a.2[d]).collect()
-        };
+        let centers_of = |d: usize| -> Vec<f64> { self.atoms.iter().map(|a| c + a.2[d]).collect() };
         let ax = |d: usize| {
             Axis::graded(
                 0.0,
@@ -208,7 +206,13 @@ pub fn train_mlxc_from_invdft(
         let space = Arc::new(ms.space());
         let sys = ms.atomic_system();
         // (1) synthetic-QMB ground state
-        let truth = scf(&space, &sys, &SyntheticTruth, &ms.scf_config(), &[KPoint::gamma()]);
+        let truth = scf(
+            &space,
+            &sys,
+            &SyntheticTruth,
+            &ms.scf_config(),
+            &[KPoint::gamma()],
+        );
         assert!(truth.converged, "truth SCF failed for {}", ms.name);
         // the QMB-side E_xc target (the paper extracts it from many-body
         // energies; the hidden-truth substitution makes it explicit)

@@ -10,7 +10,15 @@ use dft_hpc::schedule::DftSystemSpec;
 /// YbCd quasicrystal nanoparticle: Yb295Cd1648, 1,943 atoms, 40,040 e-,
 /// 75,069,290 FE DoF, Γ-only (isolated nanoparticle), p=7.
 pub fn ybcd_quasicrystal() -> DftSystemSpec {
-    DftSystemSpec::new("YbCd quasicrystal", 1943.0, 40_040.0, 75_069_290.0, 1, false, 7)
+    DftSystemSpec::new(
+        "YbCd quasicrystal",
+        1943.0,
+        40_040.0,
+        75_069_290.0,
+        1,
+        false,
+        7,
+    )
 }
 
 /// DislocMgY: pyramidal II <c+a> screw dislocation + Y solute,

@@ -15,9 +15,10 @@
 //! Spectral bounds come from a few Lanczos steps ([`lanczos_bounds`]).
 
 use crate::hamiltonian::KsHamiltonian;
+use dft_hpc::profile::{Phase, PhaseScope, Profile};
 use dft_linalg::blas1;
 use dft_linalg::eig::eigh;
-use dft_linalg::gemm::{gemm, gemm_mixed, matmul, Op};
+use dft_linalg::gemm::{gemm, gemm_flops, gemm_mixed, matmul, Op};
 use dft_linalg::iterative::LinearOperator;
 use dft_linalg::lowdin::lowdin_orthonormalize;
 use dft_linalg::matrix::Matrix;
@@ -49,11 +50,7 @@ impl Default for ChfesOptions {
 /// Estimate spectral bounds of a Hermitian operator with `k` Lanczos steps:
 /// returns `(theta_min, upper_bound)` where `upper_bound` is a safe upper
 /// bound on the largest eigenvalue (largest Ritz value plus the residual).
-pub fn lanczos_bounds<T: Scalar>(
-    op: &dyn LinearOperator<T>,
-    k: usize,
-    seed: u64,
-) -> (f64, f64) {
+pub fn lanczos_bounds<T: Scalar>(op: &dyn LinearOperator<T>, k: usize, seed: u64) -> (f64, f64) {
     let n = op.dim();
     let k = k.min(n).max(2);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -134,8 +131,8 @@ pub fn chebyshev_filter<T: Scalar>(
         let xcol = x.col(j);
         let ycol = y.col_mut(j);
         for i in 0..n {
-            ycol[i] = (ycol[i] - xcol[i].scale(T::Re::from_f64(c)))
-                .scale(T::Re::from_f64(sigma1 / e));
+            ycol[i] =
+                (ycol[i] - xcol[i].scale(T::Re::from_f64(c))).scale(T::Re::from_f64(sigma1 / e));
         }
     }
     let mut hy = Matrix::<T>::zeros(n, nc);
@@ -157,14 +154,20 @@ pub fn chebyshev_filter<T: Scalar>(
     *x = y;
 }
 
+/// Analytic FLOP count of one [`chebyshev_filter`] call of degree `m` on
+/// `ncols` columns of `h`: `m` Hamiltonian applies plus the three-term
+/// recurrence update (per element and degree step, roughly three scalings
+/// and two additions).
+pub fn chebyshev_filter_flops<T: Scalar>(h: &KsHamiltonian<'_, T>, ncols: usize, m: usize) -> u64 {
+    let elems = (h.dim() * ncols) as u64;
+    let recur = elems * (3 * T::MUL_FLOPS + 2 * T::ADD_FLOPS);
+    m as u64 * (h.apply_flops(ncols) + recur)
+}
+
 /// Hermitian product `C = A† B` with the paper's mixed-precision layout:
 /// FP32 everywhere except the `block x block` diagonal blocks, which are
 /// recomputed in FP64.
-pub fn adjoint_product_mixed<T: Scalar>(
-    a: &Matrix<T>,
-    b: &Matrix<T>,
-    block: usize,
-) -> Matrix<T> {
+pub fn adjoint_product_mixed<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, block: usize) -> Matrix<T> {
     assert_eq!(a.ncols(), b.ncols(), "square Hermitian product expected");
     let n = a.ncols();
     let block = block.max(1);
@@ -199,86 +202,162 @@ pub fn chfes<T: Scalar>(
     bounds: (f64, f64, f64),
     opts: &ChfesOptions,
 ) -> Vec<f64> {
+    chfes_profiled(h, psi, bounds, opts, None)
+}
+
+/// [`chfes`] with per-phase profiling: each step of Algorithm 1 (CF,
+/// CholGS-S/CI/O, RR-P/D/SR) runs inside its own [`PhaseScope`], tagged
+/// with analytic FLOP and byte counts (CholGS-CI and RR-D are
+/// wall-time-only, matching the paper's Sec. 6.3 accounting). With
+/// `profile = None` this is exactly [`chfes`].
+pub fn chfes_profiled<T: Scalar>(
+    h: &KsHamiltonian<'_, T>,
+    psi: &mut Matrix<T>,
+    bounds: (f64, f64, f64),
+    opts: &ChfesOptions,
+    profile: Option<&Profile>,
+) -> Vec<f64> {
     let (a0, a, b) = bounds;
     let n_states = psi.ncols();
     let nd = psi.nrows();
+    let tsize = std::mem::size_of::<T>() as u64;
+    let block_bytes = (nd * n_states) as u64 * tsize;
 
-    // [CF] blockwise filtering
-    let bf = opts.block_size.max(1);
-    let mut j0 = 0;
-    while j0 < n_states {
-        let j1 = (j0 + bf).min(n_states);
-        let mut block = psi.cols_range(j0, j1);
-        chebyshev_filter(h, &mut block, opts.cheb_degree, a, b, a0);
-        psi.set_cols(j0, &block);
-        j0 = j1;
-    }
-
-    // scale columns to unit norm to avoid overflow before CholGS
-    for j in 0..n_states {
-        let nrm = blas1::nrm2(psi.col(j)).to_f64().max(1e-300);
-        let inv = T::Re::from_f64(1.0 / nrm);
-        for v in psi.col_mut(j) {
-            *v = v.scale(inv);
+    // [CF] blockwise filtering (plus the pre-CholGS column normalization)
+    {
+        let mut scope = PhaseScope::new(profile, Phase::Cf);
+        let bf = opts.block_size.max(1);
+        let mut j0 = 0;
+        while j0 < n_states {
+            let j1 = (j0 + bf).min(n_states);
+            let mut block = psi.cols_range(j0, j1);
+            chebyshev_filter(h, &mut block, opts.cheb_degree, a, b, a0);
+            psi.set_cols(j0, &block);
+            scope.add_flops(chebyshev_filter_flops(h, j1 - j0, opts.cheb_degree));
+            scope.add_bytes(2 * (nd * (j1 - j0)) as u64 * tsize * opts.cheb_degree as u64);
+            j0 = j1;
         }
-    }
 
-    // [CholGS]
-    let s = if opts.mixed_precision {
-        let mut s = adjoint_product_mixed(psi, psi, bf);
-        s.symmetrize_hermitian();
-        s
-    } else {
-        let mut s = matmul(psi, Op::ConjTrans, psi, Op::None);
-        s.symmetrize_hermitian();
-        s
-    };
-    match dft_linalg::chol::cholesky_inverse(&s) {
-        Ok(linv) => {
-            // Psi_o = Psi_f L^{-dagger}
-            let mut out = Matrix::<T>::zeros(nd, n_states);
-            if opts.mixed_precision {
-                gemm_mixed(T::ONE, psi, Op::None, &linv, Op::ConjTrans, T::ZERO, &mut out);
-            } else {
-                gemm(T::ONE, psi, Op::None, &linv, Op::ConjTrans, T::ZERO, &mut out);
+        // scale columns to unit norm to avoid overflow before CholGS
+        for j in 0..n_states {
+            let nrm = blas1::nrm2(psi.col(j)).to_f64().max(1e-300);
+            let inv = T::Re::from_f64(1.0 / nrm);
+            for v in psi.col_mut(j) {
+                *v = v.scale(inv);
             }
-            *psi = out;
         }
-        Err(_) => {
-            // filter produced a (numerically) rank-deficient block: fall
-            // back to Löwdin orthonormalization
-            lowdin_orthonormalize(psi).expect("Löwdin fallback failed");
-        }
-    }
-    if opts.mixed_precision {
-        // FP32 rounding in the orthonormalization GEMM leaves O(1e-7)
-        // non-orthogonality; one cheap cleanup pass keeps RR well-posed.
-        lowdin_orthonormalize(psi).expect("mixed-precision cleanup");
     }
 
-    // [RR]
-    let mut hpsi = Matrix::<T>::zeros(nd, n_states);
-    h.apply(psi, &mut hpsi);
-    let mut hp = if opts.mixed_precision {
-        adjoint_product_mixed(psi, &hpsi, bf)
-    } else {
-        matmul(psi, Op::ConjTrans, &hpsi, Op::None)
+    let bf = opts.block_size.max(1);
+
+    // [CholGS-S] overlap S = Psi_f† Psi_f
+    let s = {
+        let mut scope = PhaseScope::new(profile, Phase::CholGsS);
+        scope.add_flops(gemm_flops::<T>(n_states, n_states, nd));
+        scope.add_bytes(block_bytes + (n_states * n_states) as u64 * tsize);
+        if opts.mixed_precision {
+            let mut s = adjoint_product_mixed(psi, psi, bf);
+            s.symmetrize_hermitian();
+            s
+        } else {
+            let mut s = matmul(psi, Op::ConjTrans, psi, Op::None);
+            s.symmetrize_hermitian();
+            s
+        }
     };
-    hp.symmetrize_hermitian();
-    let e = eigh(&hp).expect("RR diagonalization");
-    let q = e.eigenvectors.map(|v| v); // same scalar type
-    let mut rotated = Matrix::<T>::zeros(nd, n_states);
-    gemm(T::ONE, psi, Op::None, &q, Op::None, T::ZERO, &mut rotated);
-    *psi = rotated;
+
+    // [CholGS-CI] factorization + triangular inverse (wall-time-only)
+    let linv = {
+        let mut scope = PhaseScope::new(profile, Phase::CholGsCi);
+        scope.add_bytes((n_states * n_states) as u64 * tsize);
+        dft_linalg::chol::cholesky_inverse(&s)
+    };
+
+    // [CholGS-O] orthonormalization GEMM (or the Löwdin fallback)
+    {
+        let mut scope = PhaseScope::new(profile, Phase::CholGsO);
+        scope.add_flops(gemm_flops::<T>(nd, n_states, n_states));
+        scope.add_bytes(2 * block_bytes);
+        match linv {
+            Ok(linv) => {
+                // Psi_o = Psi_f L^{-dagger}
+                let mut out = Matrix::<T>::zeros(nd, n_states);
+                if opts.mixed_precision {
+                    gemm_mixed(
+                        T::ONE,
+                        psi,
+                        Op::None,
+                        &linv,
+                        Op::ConjTrans,
+                        T::ZERO,
+                        &mut out,
+                    );
+                } else {
+                    gemm(
+                        T::ONE,
+                        psi,
+                        Op::None,
+                        &linv,
+                        Op::ConjTrans,
+                        T::ZERO,
+                        &mut out,
+                    );
+                }
+                *psi = out;
+            }
+            Err(_) => {
+                // filter produced a (numerically) rank-deficient block: fall
+                // back to Löwdin orthonormalization
+                lowdin_orthonormalize(psi).expect("Löwdin fallback failed");
+            }
+        }
+        if opts.mixed_precision {
+            // FP32 rounding in the orthonormalization GEMM leaves O(1e-7)
+            // non-orthogonality; one cheap cleanup pass keeps RR well-posed.
+            lowdin_orthonormalize(psi).expect("mixed-precision cleanup");
+        }
+    }
+
+    // [RR-P] projected Hamiltonian Hp = Psi† (H Psi)
+    let hp = {
+        let mut scope = PhaseScope::new(profile, Phase::RrP);
+        scope.add_flops(h.apply_flops(n_states) + gemm_flops::<T>(n_states, n_states, nd));
+        scope.add_bytes(2 * block_bytes);
+        let mut hpsi = Matrix::<T>::zeros(nd, n_states);
+        h.apply(psi, &mut hpsi);
+        let mut hp = if opts.mixed_precision {
+            adjoint_product_mixed(psi, &hpsi, bf)
+        } else {
+            matmul(psi, Op::ConjTrans, &hpsi, Op::None)
+        };
+        hp.symmetrize_hermitian();
+        hp
+    };
+
+    // [RR-D] dense diagonalization (wall-time-only)
+    let e = {
+        let mut scope = PhaseScope::new(profile, Phase::RrD);
+        scope.add_bytes((n_states * n_states) as u64 * tsize);
+        eigh(&hp).expect("RR diagonalization")
+    };
+
+    // [RR-SR] subspace rotation
+    {
+        let mut scope = PhaseScope::new(profile, Phase::RrSr);
+        scope.add_flops(gemm_flops::<T>(nd, n_states, n_states));
+        scope.add_bytes(2 * block_bytes);
+        let q = e.eigenvectors.map(|v| v); // same scalar type
+        let mut rotated = Matrix::<T>::zeros(nd, n_states);
+        gemm(T::ONE, psi, Op::None, &q, Op::None, T::ZERO, &mut rotated);
+        *psi = rotated;
+    }
     e.eigenvalues
 }
 
 /// Random orthonormal initial subspace.
 pub fn random_subspace<T: Scalar>(ndofs: usize, n_states: usize, seed: u64) -> Matrix<T> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut psi = Matrix::<T>::from_fn(ndofs, n_states, |_, _| {
-        T::from_f64(rng.gen::<f64>() - 0.5)
-    });
+    let mut psi = Matrix::<T>::from_fn(ndofs, n_states, |_, _| T::from_f64(rng.gen::<f64>() - 0.5));
     lowdin_orthonormalize(&mut psi).expect("random subspace orthonormalization");
     psi
 }
@@ -297,7 +376,8 @@ mod tests {
         let v: Vec<f64> = (0..space.nnodes())
             .map(|n| {
                 let c = space.node_coord(n);
-                0.5 * ((c[0] - l / 2.0).powi(2) + (c[1] - l / 2.0).powi(2)
+                0.5 * ((c[0] - l / 2.0).powi(2)
+                    + (c[1] - l / 2.0).powi(2)
                     + (c[2] - l / 2.0).powi(2))
             })
             .collect();
@@ -394,7 +474,10 @@ mod tests {
         let after = blas1::dot(&gs, x.col(0)).abs() / nrm;
         // the filtered vector should be almost entirely in the wanted
         // subspace (overlap is bounded by 1, so test against 0.9)
-        assert!(after > 0.9 && after > before, "before {before}, after {after}");
+        assert!(
+            after > 0.9 && after > before,
+            "before {before}, after {after}"
+        );
     }
 
     #[test]

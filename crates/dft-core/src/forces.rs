@@ -28,9 +28,7 @@ use dft_fem::space::FeSpace;
 pub fn compute_forces(space: &FeSpace, system: &AtomicSystem, rho_e: &[f64]) -> Vec<[f64; 3]> {
     assert_eq!(rho_e.len(), space.nnodes());
     let rho_ion = system.ion_density(space);
-    let rho_charge: Vec<f64> = (0..space.nnodes())
-        .map(|i| rho_ion[i] - rho_e[i])
-        .collect();
+    let rho_charge: Vec<f64> = (0..space.nnodes()).map(|i| rho_ion[i] - rho_e[i]).collect();
     let all_periodic = space
         .mesh
         .axes
@@ -162,9 +160,7 @@ mod tests {
     use dft_fem::mesh::{Axis, Mesh3d};
 
     fn space(l: f64, centers: &[f64]) -> FeSpace {
-        let ax = |cs: &[f64]| {
-            Axis::graded(0.0, l, 0.6, 2.5, cs, 2.5, BoundaryCondition::Dirichlet)
-        };
+        let ax = |cs: &[f64]| Axis::graded(0.0, l, 0.6, 2.5, cs, 2.5, BoundaryCondition::Dirichlet);
         FeSpace::new(Mesh3d::new(
             [ax(centers), ax(&[l / 2.0]), ax(&[l / 2.0])],
             3,

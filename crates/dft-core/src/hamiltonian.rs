@@ -48,6 +48,16 @@ impl<'a, T: Scalar> KsHamiltonian<'a, T> {
         self.space
     }
 
+    /// Analytic FLOP count of one [`KsHamiltonian::apply`] on `ncols`
+    /// columns: the `M^{-1/2}` input scaling, the sum-factorized stiffness
+    /// apply, and the output scaling plus potential term (per element one
+    /// scale, one scale, one multiply-add).
+    pub fn apply_flops(&self, ncols: usize) -> u64 {
+        let nd = self.space.ndofs() as u64;
+        let nc = ncols as u64;
+        self.space.stiffness_apply_flops::<T>(ncols) + nd * nc * (3 * T::MUL_FLOPS + T::ADD_FLOPS)
+    }
+
     /// Diagonal of `Hhat` (for preconditioning and spectral estimates):
     /// `1/2 s_d^2 K_dd + v_d` (the kinetic diagonal is positive).
     pub fn diagonal(&self) -> Vec<f64> {

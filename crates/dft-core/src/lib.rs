@@ -25,6 +25,8 @@
 //!   energy assembly with Gaussian-nucleus electrostatics.
 
 #![deny(unsafe_code)]
+// indexed loops deliberately mirror the paper's subscript notation
+#![allow(clippy::needless_range_loop)]
 
 pub mod chebyshev;
 pub mod forces;
@@ -37,12 +39,14 @@ pub mod scf;
 pub mod system;
 pub mod xc;
 
-pub use chebyshev::{chebyshev_filter, chfes, lanczos_bounds, ChfesOptions};
+pub use chebyshev::{
+    chebyshev_filter, chebyshev_filter_flops, chfes, chfes_profiled, lanczos_bounds, ChfesOptions,
+};
 pub use forces::{compute_forces, max_force};
 pub use hamiltonian::KsHamiltonian;
 pub use mixing::AndersonMixer;
-pub use relax::{relax, RelaxConfig, RelaxResult};
 pub use occupation::{fermi_occupations, OccupationResult};
+pub use relax::{relax, RelaxConfig, RelaxResult};
 pub use scf::{scf, KPoint, ScfConfig, ScfResult, TotalEnergy};
 pub use system::{Atom, AtomKind, AtomicSystem};
 pub use xc::{FeDivergence, Lda, MlxcFunctional, Pbe, SyntheticTruth, XcEvaluation, XcFunctional};

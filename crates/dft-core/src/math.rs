@@ -18,9 +18,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -42,8 +41,8 @@ pub fn erf_over_r(a: f64, r: f64) -> f64 {
     if x < 0.3 {
         // erf(x)/x = 2/sqrt(pi) (1 - x^2/3 + x^4/10 - x^6/42 + x^8/216)
         let x2 = x * x;
-        let series = 1.0 - x2 / 3.0 + x2 * x2 / 10.0 - x2 * x2 * x2 / 42.0
-            + x2 * x2 * x2 * x2 / 216.0;
+        let series =
+            1.0 - x2 / 3.0 + x2 * x2 / 10.0 - x2 * x2 * x2 / 42.0 + x2 * x2 * x2 * x2 / 216.0;
         2.0 * a / std::f64::consts::PI.sqrt() * series
     } else {
         erf(x) / r
@@ -65,7 +64,11 @@ mod tests {
             (-1.0, -0.8427007929),
         ];
         for (x, want) in cases {
-            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {} want {want}", erf(x));
+            assert!(
+                (erf(x) - want).abs() < 2e-7,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
         }
     }
 

@@ -36,7 +36,11 @@ pub fn fermi_occupations(
     kt: f64,
 ) -> OccupationResult {
     assert_eq!(evals.len(), weights.len());
-    assert!(kt > 0.0);
+    assert!(kt > 0.0 && kt.is_finite(), "kt must be positive and finite");
+    assert!(
+        n_electrons >= 0.0 && n_electrons.is_finite(),
+        "electron count must be non-negative and finite: {n_electrons}"
+    );
     let max_electrons: f64 = evals
         .iter()
         .zip(weights)
@@ -46,6 +50,16 @@ pub fn fermi_occupations(
         n_electrons <= max_electrons + 1e-9,
         "not enough states: {n_electrons} electrons, capacity {max_electrons}"
     );
+
+    // No states anywhere (capacity forces n_electrons ~ 0): the bisection
+    // bracket below would be [+inf, -inf] and poison mu with NaN.
+    if evals.iter().all(|e| e.is_empty()) {
+        return OccupationResult {
+            mu: 0.0,
+            occupations: evals.iter().map(|_| Vec::new()).collect(),
+            entropy: 0.0,
+        };
+    }
 
     let count = |mu: f64| -> f64 {
         evals
@@ -138,5 +152,70 @@ mod tests {
         let evals = vec![vec![-3.0, -2.0, 5.0]];
         let r = fermi_occupations(&evals, &[1.0], 4.0, 0.005);
         assert!(r.entropy.abs() < 1e-6, "entropy {}", r.entropy);
+    }
+
+    #[test]
+    fn empty_eigenvalue_lists_yield_finite_mu() {
+        // regression: the bisection bracket over an empty spectrum was
+        // [+inf, -inf] and returned mu = NaN
+        let r = fermi_occupations(&[vec![], vec![]], &[0.5, 0.5], 0.0, 0.01);
+        assert!(r.mu.is_finite(), "mu must be finite, got {}", r.mu);
+        assert_eq!(r.occupations, vec![Vec::<f64>::new(), Vec::new()]);
+        assert_eq!(r.entropy, 0.0);
+    }
+
+    #[test]
+    fn no_kpoints_at_all() {
+        let r = fermi_occupations(&[], &[], 0.0, 0.01);
+        assert!(r.mu.is_finite());
+        assert!(r.occupations.is_empty());
+        assert_eq!(r.entropy, 0.0);
+    }
+
+    #[test]
+    fn zero_electrons_empties_every_state() {
+        let evals = vec![vec![-1.0, 0.0, 1.0]];
+        let r = fermi_occupations(&evals, &[1.0], 0.0, 0.01);
+        assert!(r.mu.is_finite());
+        let total: f64 = r.occupations[0].iter().sum();
+        assert!(total < 1e-9, "expected empty occupations, got {total}");
+    }
+
+    #[test]
+    fn full_capacity_fills_every_state() {
+        // n_electrons exactly at 2 * n_states: the count is flat at
+        // capacity for large mu, the bisection must still settle on a
+        // finite mu with every occupation pinned at 2
+        let evals = vec![vec![-1.0, -0.5, 0.3]];
+        let r = fermi_occupations(&evals, &[1.0], 6.0, 0.01);
+        assert!(r.mu.is_finite());
+        for &o in &r.occupations[0] {
+            assert!((o - 2.0).abs() < 1e-9, "occupation {o}");
+        }
+    }
+
+    #[test]
+    fn fully_degenerate_spectrum_splits_evenly() {
+        // every eigenvalue identical: the Fermi cutoff |x| > 40 makes the
+        // count flat away from the level, but bisection must land on the
+        // level and split the electrons evenly
+        let evals = vec![vec![0.7; 4]];
+        let r = fermi_occupations(&evals, &[1.0], 3.0, 0.01);
+        assert!(r.mu.is_finite());
+        for &o in &r.occupations[0] {
+            assert!((o - 0.75).abs() < 1e-8, "occupation {o}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_electron_count_rejected() {
+        fermi_occupations(&[vec![0.0]], &[1.0], -1.0, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough states")]
+    fn over_capacity_rejected() {
+        fermi_occupations(&[vec![0.0]], &[1.0], 3.0, 0.01);
     }
 }

@@ -19,7 +19,7 @@
 //! self-energy and short-ranged ion-ion corrections, and the smearing
 //! entropy.
 
-use crate::chebyshev::{chfes, lanczos_bounds, random_subspace, ChfesOptions};
+use crate::chebyshev::{chfes_profiled, lanczos_bounds, random_subspace, ChfesOptions};
 use crate::hamiltonian::KsHamiltonian;
 use crate::mixing::AndersonMixer;
 use crate::occupation::fermi_occupations;
@@ -29,6 +29,7 @@ use dft_fem::field::NodalField;
 use dft_fem::mesh::BoundaryCondition;
 use dft_fem::poisson::{solve_poisson, PoissonBc};
 use dft_fem::space::FeSpace;
+use dft_hpc::profile::{Phase, PhaseScope, Profile, ScfProfile};
 use dft_linalg::matrix::Matrix;
 use dft_linalg::scalar::{Real, Scalar, C64};
 
@@ -87,6 +88,10 @@ pub struct ScfConfig {
     pub seed: u64,
     /// Print per-iteration diagnostics.
     pub verbose: bool,
+    /// Collect the per-phase Table-3 profile of the SCF loop into
+    /// [`ScfResult::profile`]. Off by default; when off the solver path
+    /// carries no measurable instrumentation overhead.
+    pub profile: bool,
 }
 
 impl Default for ScfConfig {
@@ -105,6 +110,7 @@ impl Default for ScfConfig {
             poisson_tol: 1e-10,
             seed: 42,
             verbose: false,
+            profile: false,
         }
     }
 }
@@ -151,6 +157,21 @@ pub struct ScfResult {
     pub converged: bool,
     /// Residual per iteration.
     pub residual_history: Vec<f64>,
+    /// Measured per-phase Table-3 breakdown of the SCF loop
+    /// (`Some` iff [`ScfConfig::profile`] was set).
+    pub profile: Option<ScfProfile>,
+}
+
+/// Analytic FLOP count of a CG Poisson solve: per iteration one stiffness
+/// apply plus the BLAS-1 work (two dots, three axpys ≈ 10 flops per DoF).
+fn poisson_flops(space: &FeSpace, cg_iterations: usize) -> u64 {
+    cg_iterations as u64 * (space.stiffness_apply_flops::<f64>(1) + 10 * space.ndofs() as u64)
+}
+
+/// Main-memory traffic of a CG Poisson solve: per iteration the five
+/// working vectors streamed once each way.
+fn poisson_bytes(space: &FeSpace, cg_iterations: usize) -> u64 {
+    cg_iterations as u64 * 10 * space.ndofs() as u64 * std::mem::size_of::<f64>() as u64
 }
 
 fn poisson_bc_of(space: &FeSpace) -> PoissonBc<'static> {
@@ -226,7 +247,10 @@ fn scf_impl<T: Scalar + ScalarExt>(
 ) -> ScfResult {
     let nd = space.ndofs();
     let n_el = system.n_electrons();
-    assert!(cfg.n_states * 2 >= n_el.ceil() as usize, "not enough states");
+    assert!(
+        cfg.n_states * 2 >= n_el.ceil() as usize,
+        "not enough states"
+    );
     assert!(cfg.n_states <= nd, "more states than DoFs");
     let wsum: f64 = kpts.iter().map(|k| k.weight).sum();
     assert!((wsum - 1.0).abs() < 1e-10, "k-point weights must sum to 1");
@@ -259,42 +283,70 @@ fn scf_impl<T: Scalar + ScalarExt>(
     let e_ii_corr = system.ion_ion_correction(space);
     let kweights: Vec<f64> = kpts.iter().map(|k| k.weight).collect();
 
+    // Profiled region: the SCF loop proper (setup above is excluded from
+    // the total so phase times can be checked against it).
+    let profile_store = cfg.profile.then(Profile::new);
+    let profile = profile_store.as_ref();
+
     for iter in 0..cfg.max_iter {
         iterations = iter + 1;
+        if let Some(p) = profile {
+            p.begin_iteration();
+        }
         // ---- effective potential from rho_in --------------------------
         let rho_charge: Vec<f64> = (0..space.nnodes())
             .map(|i| rho_ion[i] - rho_in[i])
             .collect();
-        let (phi, pst) = solve_poisson(space, &rho_charge, poisson_bc_of(space), cfg.poisson_tol, 20000);
+        let (phi, pst) = {
+            let mut scope = PhaseScope::new(profile, Phase::Ep);
+            let r = solve_poisson(
+                space,
+                &rho_charge,
+                poisson_bc_of(space),
+                cfg.poisson_tol,
+                20000,
+            );
+            scope.add_flops(poisson_flops(space, r.1.iterations));
+            scope.add_bytes(poisson_bytes(space, r.1.iterations));
+            r
+        };
         assert!(pst.converged, "Poisson solve failed at SCF iter {iter}");
-        let rho_in_field = NodalField::from_values(space, rho_in.clone());
-        let xce = evaluate_xc(space, &rho_in_field, xc);
-        vxc_nodes = xce.vxc.clone();
-        for i in 0..space.nnodes() {
-            v_eff[i] = -phi[i] + vxc_nodes[i];
+        {
+            let _scope = PhaseScope::new(profile, Phase::Dh);
+            let rho_in_field = NodalField::from_values(space, rho_in.clone());
+            let xce = evaluate_xc(space, &rho_in_field, xc);
+            vxc_nodes = xce.vxc.clone();
+            for i in 0..space.nnodes() {
+                v_eff[i] = -phi[i] + vxc_nodes[i];
+            }
         }
 
         // ---- eigenproblem per k-point ----------------------------------
         for (ik, k) in kpts.iter().enumerate() {
             let ph = phases_for::<T>(space, k);
             let h = KsHamiltonian::<T>::new(space, &v_eff, ph);
-            let (tmin, tmax) = lanczos_bounds(&h, 10, cfg.seed + 1000 + ik as u64);
-            let passes = if iter == 0 { cfg.first_iter_cf_passes } else { 1 };
+            let (tmin, tmax) = {
+                let _scope = PhaseScope::new(profile, Phase::Other);
+                lanczos_bounds(&h, 10, cfg.seed + 1000 + ik as u64)
+            };
+            let passes = if iter == 0 {
+                cfg.first_iter_cf_passes
+            } else {
+                1
+            };
             let opts = ChfesOptions {
                 cheb_degree: cfg.cheb_degree,
                 block_size: cfg.block_size,
                 mixed_precision: cfg.mixed_precision,
             };
-            let (mut a0, mut a) = filter_window[ik].unwrap_or((
-                tmin - 1.0,
-                tmin + 0.1 * (tmax - tmin),
-            ));
+            let (mut a0, mut a) =
+                filter_window[ik].unwrap_or((tmin - 1.0, tmin + 0.1 * (tmax - tmin)));
             // keep the window consistent with the fresh upper bound
             a0 = a0.min(tmin - 1.0);
             a = a.clamp(a0 + 1e-3 * (tmax - a0), 0.9 * tmax);
             let mut evals = vec![];
             for _ in 0..passes {
-                evals = chfes(&h, &mut psi[ik], (a0, a, tmax), &opts);
+                evals = chfes_profiled(&h, &mut psi[ik], (a0, a, tmax), &opts, profile);
                 // filter edge just above the wanted spectrum: amplifying a
                 // wide unwanted band stalls SCF convergence
                 let top = evals[cfg.n_states - 1];
@@ -308,75 +360,107 @@ fn scf_impl<T: Scalar + ScalarExt>(
         }
 
         // ---- occupations & density -------------------------------------
-        let occ = fermi_occupations(&eigenvalues, &kweights, n_el, cfg.kt);
+        let occ = {
+            let _scope = PhaseScope::new(profile, Phase::Other);
+            fermi_occupations(&eigenvalues, &kweights, n_el, cfg.kt)
+        };
         mu = occ.mu;
         occupations = occ.occupations.clone();
 
-        rho_out = vec![0.0; space.nnodes()];
-        let s = space.inv_sqrt_mass();
-        for ik in 0..kpts.len() {
-            let w = kpts[ik].weight;
-            for i in 0..cfg.n_states {
-                let f = occupations[ik][i];
-                if f < 1e-14 {
-                    continue;
-                }
-                let col = psi[ik].col(i);
-                for d in 0..nd {
-                    let amp = col[d].abs_sq().to_f64() * s[d] * s[d];
-                    rho_out[space.node_of_dof(d)] += w * f * amp;
+        {
+            let mut scope = PhaseScope::new(profile, Phase::Dc);
+            rho_out = vec![0.0; space.nnodes()];
+            let s = space.inv_sqrt_mass();
+            for ik in 0..kpts.len() {
+                let w = kpts[ik].weight;
+                for i in 0..cfg.n_states {
+                    let f = occupations[ik][i];
+                    if f < 1e-14 {
+                        continue;
+                    }
+                    // per DoF: |psi|^2 (MUL_FLOPS), two mass scalings, the
+                    // k/occupation weight, and the accumulate
+                    scope.add_flops(nd as u64 * (T::MUL_FLOPS + 4));
+                    scope.add_bytes(nd as u64 * std::mem::size_of::<T>() as u64);
+                    let col = psi[ik].col(i);
+                    for d in 0..nd {
+                        let amp = col[d].abs_sq().to_f64() * s[d] * s[d];
+                        rho_out[space.node_of_dof(d)] += w * f * amp;
+                    }
                 }
             }
         }
 
         // ---- total energy (with rho_out) --------------------------------
-        let band: f64 = (0..kpts.len())
-            .map(|ik| -> f64 {
-                kpts[ik].weight
-                    * eigenvalues[ik]
-                        .iter()
-                        .zip(&occupations[ik])
-                        .map(|(&e, &f)| e * f)
-                        .sum::<f64>()
-            })
-            .sum();
-        let rho_veff: f64 = space.integrate(
-            &(0..space.nnodes())
-                .map(|i| rho_out[i] * v_eff[i])
-                .collect::<Vec<_>>(),
-        );
-        let kinetic = band - rho_veff;
-        let rho_charge_out: Vec<f64> = (0..space.nnodes())
-            .map(|i| rho_ion[i] - rho_out[i])
-            .collect();
-        let (phi_out, _) =
-            solve_poisson(space, &rho_charge_out, poisson_bc_of(space), cfg.poisson_tol, 20000);
-        let e_es_gauss = 0.5
-            * space.integrate(
+        let (band, rho_veff, rho_charge_out) = {
+            let _scope = PhaseScope::new(profile, Phase::Other);
+            let band: f64 = (0..kpts.len())
+                .map(|ik| -> f64 {
+                    kpts[ik].weight
+                        * eigenvalues[ik]
+                            .iter()
+                            .zip(&occupations[ik])
+                            .map(|(&e, &f)| e * f)
+                            .sum::<f64>()
+                })
+                .sum();
+            let rho_veff: f64 = space.integrate(
                 &(0..space.nnodes())
-                    .map(|i| rho_charge_out[i] * phi_out[i])
+                    .map(|i| rho_out[i] * v_eff[i])
                     .collect::<Vec<_>>(),
             );
-        let rho_out_field = NodalField::from_values(space, rho_out.clone());
-        let xc_out = evaluate_xc(space, &rho_out_field, xc);
-        let electrostatic = e_es_gauss + e_ii_corr;
-        let total = kinetic + electrostatic + xc_out.energy;
-        let entropy_term = -cfg.kt * occ.entropy;
-        result_energy = TotalEnergy {
-            band,
-            kinetic,
-            electrostatic,
-            xc: xc_out.energy,
-            entropy_term,
-            total,
-            free_energy: total + entropy_term,
+            let rho_charge_out: Vec<f64> = (0..space.nnodes())
+                .map(|i| rho_ion[i] - rho_out[i])
+                .collect();
+            (band, rho_veff, rho_charge_out)
         };
+        let kinetic = band - rho_veff;
+        let (phi_out, pst_out) = {
+            let mut scope = PhaseScope::new(profile, Phase::Ep);
+            let r = solve_poisson(
+                space,
+                &rho_charge_out,
+                poisson_bc_of(space),
+                cfg.poisson_tol,
+                20000,
+            );
+            scope.add_flops(poisson_flops(space, r.1.iterations));
+            scope.add_bytes(poisson_bytes(space, r.1.iterations));
+            r
+        };
+        let _ = pst_out;
+        let xc_out = {
+            let _scope = PhaseScope::new(profile, Phase::Dh);
+            let rho_out_field = NodalField::from_values(space, rho_out.clone());
+            evaluate_xc(space, &rho_out_field, xc)
+        };
+        let residual = {
+            let _scope = PhaseScope::new(profile, Phase::Other);
+            let e_es_gauss = 0.5
+                * space.integrate(
+                    &(0..space.nnodes())
+                        .map(|i| rho_charge_out[i] * phi_out[i])
+                        .collect::<Vec<_>>(),
+                );
+            let electrostatic = e_es_gauss + e_ii_corr;
+            let total = kinetic + electrostatic + xc_out.energy;
+            let entropy_term = -cfg.kt * occ.entropy;
+            result_energy = TotalEnergy {
+                band,
+                kinetic,
+                electrostatic,
+                xc: xc_out.energy,
+                entropy_term,
+                total,
+                free_energy: total + entropy_term,
+            };
 
-        // ---- convergence & mixing ---------------------------------------
-        let diff: Vec<f64> = (0..space.nnodes())
-            .map(|i| (rho_out[i] - rho_in[i]).powi(2))
-            .collect();
-        let residual = space.integrate(&diff).sqrt() / n_el;
+            // ---- convergence & mixing -----------------------------------
+            let diff: Vec<f64> = (0..space.nnodes())
+                .map(|i| (rho_out[i] - rho_in[i]).powi(2))
+                .collect();
+            space.integrate(&diff).sqrt() / n_el
+        };
         residual_history.push(residual);
         if cfg.verbose {
             println!(
@@ -388,7 +472,10 @@ fn scf_impl<T: Scalar + ScalarExt>(
             converged = true;
             break;
         }
-        rho_in = mixer.mix(&rho_in, &rho_out);
+        {
+            let _scope = PhaseScope::new(profile, Phase::Other);
+            rho_in = mixer.mix(&rho_in, &rho_out);
+        }
     }
 
     ScfResult {
@@ -402,6 +489,7 @@ fn scf_impl<T: Scalar + ScalarExt>(
         iterations,
         converged,
         residual_history,
+        profile: profile_store.map(|p| p.finish(None)),
     }
 }
 
@@ -436,7 +524,17 @@ mod tests {
 
     fn atom_space(l: f64, n: usize, p: usize) -> FeSpace {
         let c = l / 2.0;
-        let ax = || Axis::graded(0.0, l, 0.5, l / n as f64, &[c], 3.0, BoundaryCondition::Dirichlet);
+        let ax = || {
+            Axis::graded(
+                0.0,
+                l,
+                0.5,
+                l / n as f64,
+                &[c],
+                3.0,
+                BoundaryCondition::Dirichlet,
+            )
+        };
         FeSpace::new(Mesh3d::new([ax(), ax(), ax()], p))
     }
 
@@ -506,7 +604,13 @@ mod tests {
             pos: [c, c, c],
         }]);
         let r_lda = scf(&space, &sys, &Lda, &quick_cfg(4), &[KPoint::gamma()]);
-        let r_tru = scf(&space, &sys, &SyntheticTruth, &quick_cfg(4), &[KPoint::gamma()]);
+        let r_tru = scf(
+            &space,
+            &sys,
+            &SyntheticTruth,
+            &quick_cfg(4),
+            &[KPoint::gamma()],
+        );
         assert!(r_lda.converged && r_tru.converged);
         let d = (r_lda.energy.free_energy - r_tru.energy.free_energy).abs();
         assert!(d > 1e-3, "functionals should disagree: diff = {d}");
@@ -579,5 +683,98 @@ mod tests {
             r64.energy.free_energy,
             rmx.energy.free_energy
         );
+    }
+
+    #[test]
+    fn profiling_off_by_default_and_absent_from_result() {
+        assert!(!ScfConfig::default().profile);
+        let space = atom_space(10.0, 2, 2);
+        let c = 5.0;
+        let sys = AtomicSystem::new(vec![Atom {
+            kind: AtomKind::Pseudo { z: 2.0, r_c: 0.5 },
+            pos: [c, c, c],
+        }]);
+        let cfg = ScfConfig {
+            max_iter: 2,
+            tol: 0.0,
+            ..quick_cfg(4)
+        };
+        let r = scf(&space, &sys, &Lda, &cfg, &[KPoint::gamma()]);
+        assert!(r.profile.is_none());
+    }
+
+    #[test]
+    fn profiled_scf_matches_analytic_flops_and_wall_clock() {
+        use crate::chebyshev::chebyshev_filter_flops;
+        use dft_linalg::gemm::gemm_flops;
+
+        let space = atom_space(12.0, 3, 3);
+        let c = 6.0;
+        let sys = AtomicSystem::new(vec![Atom {
+            kind: AtomKind::Pseudo { z: 2.0, r_c: 0.5 },
+            pos: [c, c, c],
+        }]);
+        let cfg = ScfConfig {
+            profile: true,
+            ..quick_cfg(4)
+        };
+        let r = scf(&space, &sys, &Lda, &cfg, &[KPoint::gamma()]);
+        assert!(r.converged);
+        let prof = r.profile.expect("profile requested");
+
+        // one bucket per SCF iteration
+        assert_eq!(prof.iterations.len(), r.iterations);
+
+        // phase wall times account for the loop: sum <= total, and within
+        // 5% of it (the un-scoped bookkeeping between scopes is tiny)
+        assert!(
+            prof.measured_seconds() <= prof.total_seconds * (1.0 + 1e-9),
+            "scoped time {} exceeds total {}",
+            prof.measured_seconds(),
+            prof.total_seconds
+        );
+        assert!(
+            prof.coverage() > 0.95,
+            "scope coverage {:.3} below 95%",
+            prof.coverage()
+        );
+
+        // FLOP tallies must equal the analytic per-call counts exactly:
+        // ChFES runs first_iter_cf_passes times at iteration 0, once after
+        let (n, nd) = (cfg.n_states, space.ndofs());
+        let calls = (cfg.first_iter_cf_passes + r.iterations - 1) as u64;
+        let v0 = vec![0.0; space.nnodes()];
+        let h = KsHamiltonian::<f64>::new(&space, &v0, [1.0; 3]);
+        assert_eq!(
+            prof.phase_flops("CF"),
+            calls * chebyshev_filter_flops(&h, n, cfg.cheb_degree)
+        );
+        assert_eq!(
+            prof.phase_flops("CholGS-S"),
+            calls * gemm_flops::<f64>(n, n, nd)
+        );
+        assert_eq!(
+            prof.phase_flops("CholGS-O"),
+            calls * gemm_flops::<f64>(nd, n, n)
+        );
+        assert_eq!(
+            prof.phase_flops("RR-P"),
+            calls * (h.apply_flops(n) + gemm_flops::<f64>(n, n, nd))
+        );
+        assert_eq!(
+            prof.phase_flops("RR-SR"),
+            calls * gemm_flops::<f64>(nd, n, n)
+        );
+        // wall-time-only steps per the paper's Sec. 6.3 accounting
+        assert_eq!(prof.phase_flops("CholGS-CI"), 0);
+        assert_eq!(prof.phase_flops("RR-D"), 0);
+        // the merged tail row carries the Poisson + density FLOPs
+        assert!(prof.phase_flops("EP") > 0);
+        assert!(prof.phase_flops("DC") > 0);
+
+        // the report survives a JSON round trip bit-for-bit
+        let back = ScfProfile::from_json(&prof.to_json()).unwrap();
+        assert_eq!(back, prof);
+        assert_eq!(prof.table3_rows().len(), 9);
     }
 }

@@ -194,8 +194,8 @@ impl AtomicSystem {
             for j in 0..n {
                 let (ai, aj) = (&self.atoms[i], &self.atoms[j]);
                 let (zi, zj) = (ai.kind.z(), aj.kind.z());
-                let alpha_ij = ai.kind.alpha() * aj.kind.alpha()
-                    / (ai.kind.alpha() + aj.kind.alpha());
+                let alpha_ij =
+                    ai.kind.alpha() * aj.kind.alpha() / (ai.kind.alpha() + aj.kind.alpha());
                 let sq = alpha_ij.sqrt();
                 for gx in -ix..=ix {
                     for gy in -iy..=iy {
@@ -306,6 +306,9 @@ mod tests {
         let alpha: f64 = 1.0 / (1.2 * 1.2);
         let self_e = (alpha / (2.0 * std::f64::consts::PI)).sqrt();
         let corr = sys.ion_ion_correction(&s);
-        assert!(corr > -self_e, "images must add positive pair terms: {corr}");
+        assert!(
+            corr > -self_e,
+            "images must add positive pair terms: {corr}"
+        );
     }
 }

@@ -571,10 +571,25 @@ mod tests {
         let div = d.divergence(&vx, &vy, &vz);
         let lhs: f64 = lam.iter().zip(div.iter()).map(|(a, b)| a * b).sum();
         let adj = d.adjoint(&lam);
-        let rhs: f64 = adj[0].iter().zip(vx.iter()).map(|(a, b)| a * b).sum::<f64>()
-            + adj[1].iter().zip(vy.iter()).map(|(a, b)| a * b).sum::<f64>()
-            + adj[2].iter().zip(vz.iter()).map(|(a, b)| a * b).sum::<f64>();
-        assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        let rhs: f64 = adj[0]
+            .iter()
+            .zip(vx.iter())
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + adj[1]
+                .iter()
+                .zip(vy.iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+            + adj[2]
+                .iter()
+                .zip(vz.iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
+        assert!(
+            (lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

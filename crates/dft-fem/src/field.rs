@@ -26,7 +26,9 @@ impl NodalField {
     /// Sample an analytic function at every node.
     pub fn from_fn(space: &FeSpace, f: impl Fn([f64; 3]) -> f64) -> Self {
         Self {
-            values: (0..space.nnodes()).map(|n| f(space.node_coord(n))).collect(),
+            values: (0..space.nnodes())
+                .map(|n| f(space.node_coord(n)))
+                .collect(),
         }
     }
 
@@ -170,7 +172,13 @@ impl NodalField {
 impl FeSpace {
     /// Global node index of local node `(a, b, c)` in `cell` (wrapping
     /// periodically).
-    pub fn cell_local_to_node(&self, cell: &crate::space::Cell, a: usize, b: usize, c: usize) -> usize {
+    pub fn cell_local_to_node(
+        &self,
+        cell: &crate::space::Cell,
+        a: usize,
+        b: usize,
+        c: usize,
+    ) -> usize {
         let p = self.mesh.degree;
         let na = self.n_axis();
         let w = |ci: usize, l: usize, n: usize, per: bool| -> usize {
@@ -204,7 +212,7 @@ impl FeSpace {
             let mut lo = 0usize;
             let mut hi = bnd.len() - 2;
             while lo < hi {
-                let mid = (lo + hi + 1) / 2;
+                let mid = (lo + hi).div_ceil(2);
                 if bnd[mid] <= x {
                     lo = mid;
                 } else {

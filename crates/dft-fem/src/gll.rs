@@ -23,7 +23,11 @@ pub fn legendre(n: usize, x: f64) -> (f64, f64) {
         n as f64 * (p0 - x * p1) / (1.0 - x * x)
     } else {
         // At the endpoints: P_n'(+-1) = (+-1)^{n-1} n(n+1)/2
-        let sign = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 - 1) };
+        let sign = if x > 0.0 {
+            1.0
+        } else {
+            (-1.0f64).powi(n as i32 - 1)
+        };
         sign * (n * (n + 1)) as f64 / 2.0
     };
     (p1, dp)
@@ -152,12 +156,13 @@ mod tests {
             // integrate x^deg and x^(deg-1); odd powers integrate to 0,
             // even powers to 2/(k+1)
             for k in [deg - 1, deg] {
-                let exact = if k % 2 == 1 { 0.0 } else { 2.0 / (k as f64 + 1.0) };
+                let exact = if k % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (k as f64 + 1.0)
+                };
                 let got = integrate(&x, &w, |t| t.powi(k as i32));
-                assert!(
-                    (got - exact).abs() < 1e-12,
-                    "n={n} k={k}: {got} vs {exact}"
-                );
+                assert!((got - exact).abs() < 1e-12, "n={n} k={k}: {got} vs {exact}");
             }
         }
     }

@@ -28,6 +28,8 @@
 //! complex wavefunction path of the paper's Mg-Y systems is exercised.
 
 #![deny(unsafe_code)]
+// indexed loops deliberately mirror the paper's subscript notation
+#![allow(clippy::needless_range_loop)]
 
 pub mod basis;
 pub mod field;

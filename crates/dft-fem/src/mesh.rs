@@ -197,7 +197,15 @@ mod tests {
 
     #[test]
     fn graded_axis_refines_near_center() {
-        let a = Axis::graded(0.0, 20.0, 0.25, 2.0, &[10.0], 5.0, BoundaryCondition::Dirichlet);
+        let a = Axis::graded(
+            0.0,
+            20.0,
+            0.25,
+            2.0,
+            &[10.0],
+            5.0,
+            BoundaryCondition::Dirichlet,
+        );
         assert!((a.length() - 20.0).abs() < 1e-12);
         // find smallest cell: should be near x = 10
         let (mut hmin, mut xmin) = (f64::INFINITY, 0.0);

@@ -87,7 +87,11 @@ pub fn solve_poisson(
             (phi, stats)
         }
         PoissonBc::Periodic => {
-            assert_eq!(nd, space.nnodes(), "periodic Poisson expects no Dirichlet dofs");
+            assert_eq!(
+                nd,
+                space.nnodes(),
+                "periodic Poisson expects no Dirichlet dofs"
+            );
             // compatibility: subtract the mean charge
             let total_q = space.integrate(rho);
             let vol: f64 = space.mesh.volume();
@@ -99,8 +103,8 @@ pub fn solve_poisson(
             }
             // A (numerically) uniform charge is fully neutralized: phi = 0.
             let rhs_norm = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
-            let scale = four_pi * space.integrate(&rho.iter().map(|v| v.abs()).collect::<Vec<_>>())
-                + 1.0;
+            let scale =
+                four_pi * space.integrate(&rho.iter().map(|v| v.abs()).collect::<Vec<_>>()) + 1.0;
             if rhs_norm < 1e-12 * scale {
                 return (
                     vec![0.0; space.nnodes()],
@@ -155,7 +159,11 @@ mod tests {
         let phi_exact = NodalField::from_fn(&s, |[x, y, z]| {
             (PI * x / l).sin() * (PI * y / l).sin() * (PI * z / l).sin()
         });
-        let rho: Vec<f64> = phi_exact.values.iter().map(|&p| kk * p / (4.0 * PI)).collect();
+        let rho: Vec<f64> = phi_exact
+            .values
+            .iter()
+            .map(|&p| kk * p / (4.0 * PI))
+            .collect();
         let zero = |_: [f64; 3]| 0.0;
         let (phi, stats) = solve_poisson(&s, &rho, PoissonBc::Dirichlet(&zero), 1e-12, 5000);
         assert!(stats.converged);
@@ -176,8 +184,11 @@ mod tests {
             let phi_exact = NodalField::from_fn(&s, |[x, y, z]| {
                 (PI * x / l).sin() * (PI * y / l).sin() * (PI * z / l).sin()
             });
-            let rho: Vec<f64> =
-                phi_exact.values.iter().map(|&v| kk * v / (4.0 * PI)).collect();
+            let rho: Vec<f64> = phi_exact
+                .values
+                .iter()
+                .map(|&v| kk * v / (4.0 * PI))
+                .collect();
             let zero = |_: [f64; 3]| 0.0;
             let (phi, _) = solve_poisson(&s, &rho, PoissonBc::Dirichlet(&zero), 1e-13, 8000);
             let err = phi

@@ -253,10 +253,7 @@ impl FeSpace {
     /// Restrict a full nodal vector to DoFs.
     pub fn nodes_to_dofs<T: Scalar>(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.nnodes);
-        self.node_of_dof
-            .iter()
-            .map(|&n| x[n as usize])
-            .collect()
+        self.node_of_dof.iter().map(|&n| x[n as usize]).collect()
     }
 
     /// Gather the local values of one cell from a *full nodal* vector,
@@ -426,6 +423,18 @@ impl FeSpace {
                 }
             }
         }
+    }
+
+    /// Analytic FLOP count of one [`FeSpace::apply_stiffness`] call on
+    /// `ncols` columns: per cell and column the sum-factorized kernel does
+    /// three directional sweeps, each `n1^3` outputs of an `n1`-term
+    /// multiply-add plus one scale-and-accumulate (gather/scatter phase
+    /// multiplies are not counted).
+    pub fn stiffness_apply_flops<T: Scalar>(&self, ncols: usize) -> u64 {
+        let n1 = (self.mesh.degree + 1) as u64;
+        let mac = T::MUL_FLOPS + T::ADD_FLOPS;
+        let per_cell = 3 * n1 * n1 * n1 * (n1 + 1) * mac;
+        per_cell * self.cells.len() as u64 * ncols as u64
     }
 
     /// `Y = K X` on DoF vectors (columns of `x`), with Bloch `phases` on
@@ -617,13 +626,7 @@ impl<T: Scalar> CellDenseOperator<T> {
 
     /// `Y = (assembled H) X` on DoF vectors using gather -> batched GEMM ->
     /// scatter. `phases` as in [`FeSpace::apply_stiffness`].
-    pub fn apply_block(
-        &self,
-        space: &FeSpace,
-        x: &Matrix<T>,
-        y: &mut Matrix<T>,
-        phases: [T; 3],
-    ) {
+    pub fn apply_block(&self, space: &FeSpace, x: &Matrix<T>, y: &mut Matrix<T>, phases: [T; 3]) {
         let nloc = self.nloc;
         let ncells = space.cells().len();
         let ncols = x.ncols();

@@ -1,4 +1,5 @@
 //! Property-based tests of the spectral-FE invariants.
+#![allow(clippy::needless_range_loop)]
 
 use dft_fem::field::NodalField;
 use dft_fem::mesh::{Axis, BoundaryCondition, Mesh3d};

@@ -248,10 +248,7 @@ where
     drop(senders);
 
     let results: Vec<T> = std::thread::scope(|scope| {
-        let handles: Vec<_> = comms
-            .iter_mut()
-            .map(|c| scope.spawn(|| f(c)))
-            .collect();
+        let handles: Vec<_> = comms.iter_mut().map(|c| scope.spawn(|| f(c))).collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     (results, stats)

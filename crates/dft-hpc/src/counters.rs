@@ -53,19 +53,26 @@ impl SectionTimer {
         }
     }
 
-    /// Start (or restart) the section.
+    /// Start the section. Calling `start` while already running first
+    /// accumulates the running segment, so no time is silently dropped.
     pub fn start(&mut self) {
+        self.stop();
         self.started = Some(Instant::now());
     }
 
-    /// Stop and accumulate.
+    /// Stop and accumulate. A `stop` without a matching `start` is a no-op.
     pub fn stop(&mut self) {
         if let Some(t0) = self.started.take() {
             self.elapsed += t0.elapsed().as_secs_f64();
         }
     }
 
-    /// Accumulated seconds.
+    /// True while between a `start` and its `stop`.
+    pub fn is_running(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Accumulated seconds (excluding any still-running segment).
     pub fn seconds(&self) -> f64 {
         self.elapsed
     }
@@ -105,5 +112,40 @@ mod tests {
         let mut t = SectionTimer::new("x");
         t.stop();
         assert_eq!(t.seconds(), 0.0);
+        t.stop();
+        t.stop();
+        assert_eq!(t.seconds(), 0.0);
+        assert!(!t.is_running());
+    }
+
+    #[test]
+    fn double_start_accumulates_running_segment() {
+        let mut t = SectionTimer::new("x");
+        t.start();
+        std::thread::sleep(std::time::Duration::from_millis(4));
+        // misuse: second start without a stop — the first segment must
+        // still be counted, not discarded
+        t.start();
+        std::thread::sleep(std::time::Duration::from_millis(4));
+        t.stop();
+        assert!(t.seconds() >= 0.007, "got {}", t.seconds());
+        assert!(!t.is_running());
+    }
+
+    #[test]
+    fn is_running_tracks_scope_state() {
+        let mut t = SectionTimer::new("x");
+        assert!(!t.is_running());
+        t.start();
+        assert!(t.is_running());
+        t.stop();
+        assert!(!t.is_running());
+        // seconds() excludes a still-running segment
+        t.start();
+        let frozen = t.seconds();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(t.seconds(), frozen);
+        t.stop();
+        assert!(t.seconds() > frozen);
     }
 }

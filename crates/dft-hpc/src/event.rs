@@ -125,7 +125,11 @@ impl Timeline {
 pub fn pipelined_blocks(n: usize, t_compute: f64, t_comm: f64, overlap: bool) -> f64 {
     let mut tl = Timeline::new();
     for _ in 0..n {
-        let comm_stream = if overlap { Stream::Comm } else { Stream::Compute };
+        let comm_stream = if overlap {
+            Stream::Comm
+        } else {
+            Stream::Compute
+        };
         let c = tl.add(Stream::Compute, t_compute, &[]);
         tl.add(comm_stream, t_comm, &[c]);
     }
@@ -188,7 +192,8 @@ mod tests {
         tl.add(Stream::Comm, 2.5, &[]);
         tl.add(Stream::Host, 0.5, &[]);
         assert!(
-            (tl.stream_time(Stream::Compute) + tl.stream_time(Stream::Comm)
+            (tl.stream_time(Stream::Compute)
+                + tl.stream_time(Stream::Comm)
                 + tl.stream_time(Stream::Host)
                 - tl.serial_time())
             .abs()

@@ -117,7 +117,9 @@ impl MachineModel {
             return 0.0;
         }
         let ccl = use_ccl && nodes <= self.ccl_max_nodes;
-        let bus = self.nic_gbps * 1e9 * self.mpi_allreduce_eff
+        let bus = self.nic_gbps
+            * 1e9
+            * self.mpi_allreduce_eff
             * if ccl { self.ccl_allreduce_speedup } else { 1.0 };
         let n = nodes as f64;
         2.0 * bytes * (n - 1.0) / n / bus + 2.0 * (n).log2() * self.latency_s
@@ -235,7 +237,11 @@ mod tests {
     fn frontier_node_peak_matches_paper_table3() {
         // 8,000 nodes -> 1,529.6 PFLOPS FP64 peak (Table 3)
         let c = ClusterSpec::new(MachineModel::frontier(), 8000);
-        assert!((c.peak_pflops() - 1529.6).abs() < 0.1, "{}", c.peak_pflops());
+        assert!(
+            (c.peak_pflops() - 1529.6).abs() < 0.1,
+            "{}",
+            c.peak_pflops()
+        );
         // 2,400 nodes -> 458.9 ; 6,000 -> 1,147.2
         let a = ClusterSpec::new(MachineModel::frontier(), 2400);
         assert!((a.peak_pflops() - 458.88).abs() < 0.1);
@@ -249,9 +255,8 @@ mod tests {
         // of a Summit node
         let cr = MachineModel::crusher();
         let su = MachineModel::summit();
-        let ratio = |m: &MachineModel| {
-            m.node_peak_tflops() / (m.gpus_per_node as f64 * m.gpu.hbm_tbps)
-        };
+        let ratio =
+            |m: &MachineModel| m.node_peak_tflops() / (m.gpus_per_node as f64 * m.gpu.hbm_tbps);
         let r = ratio(&cr) / ratio(&su);
         assert!((r - 1.7).abs() < 0.15, "balance ratio {r}");
     }

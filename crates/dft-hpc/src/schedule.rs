@@ -313,7 +313,11 @@ pub fn scf_step(sys: &DftSystemSpec, opts: &SolverOptions, cluster: &ClusterSpec
     // ---- CholGS-S: overlap matrix (full GEMM executed, alpha=1 counted) --
     let bs = opts.sub_block.min(n);
     let s_blocks = (n / bs).ceil() as usize;
-    let fp32_frac = if opts.mixed_precision { 1.0 - bs / n } else { 0.0 };
+    let fp32_frac = if opts.mixed_precision {
+        1.0 - bs / n
+    } else {
+        0.0
+    };
     let s_exec_flops_gpu = 2.0 * gf * wg.m_loc * n * bs; // full GEMM per block
     let t_s_gemm =
         gpu.gemm_seconds(s_exec_flops_gpu, bs, fp32_frac) + cluster.machine.kernel_overhead_s;
@@ -486,7 +490,11 @@ mod tests {
     #[test]
     fn counted_flops_match_paper_table3_within_10_percent() {
         let opts = paper_large_run_opts();
-        let a = scf_step(&twin_a(), &opts, &ClusterSpec::new(MachineModel::frontier(), 2400));
+        let a = scf_step(
+            &twin_a(),
+            &opts,
+            &ClusterSpec::new(MachineModel::frontier(), 2400),
+        );
         // Paper Table 3 (A): CholGS-S 6,917.3 / RR-SR 13,834.6 / CF 14,854.2
         let rel = |x: f64, y: f64| (x - y).abs() / y;
         assert!(rel(a.step("CholGS-S").pflop.unwrap(), 6917.3) < 0.10);
@@ -500,7 +508,11 @@ mod tests {
     #[test]
     fn wall_time_and_sustained_performance_near_paper() {
         let opts = paper_large_run_opts();
-        let a = scf_step(&twin_a(), &opts, &ClusterSpec::new(MachineModel::frontier(), 2400));
+        let a = scf_step(
+            &twin_a(),
+            &opts,
+            &ClusterSpec::new(MachineModel::frontier(), 2400),
+        );
         // paper: 223 s, 226.3 PFLOPS (49.3%)
         assert!(
             (a.total_seconds - 223.0).abs() / 223.0 < 0.25,
@@ -512,7 +524,11 @@ mod tests {
             "efficiency {}",
             a.efficiency()
         );
-        let c = scf_step(&twin_c(), &opts, &ClusterSpec::new(MachineModel::frontier(), 8000));
+        let c = scf_step(
+            &twin_c(),
+            &opts,
+            &ClusterSpec::new(MachineModel::frontier(), 8000),
+        );
         // paper: 513.7 s, 659.7 PFLOPS (43.1%)
         assert!(
             (c.total_seconds - 513.7).abs() / 513.7 < 0.25,
@@ -547,10 +563,18 @@ mod tests {
     fn strong_scaling_reduces_walltime_sublinearly() {
         let sys = DftSystemSpec::new("YbCd", 1943.0, 40_040.0, 75_069_290.0, 1, false, 7);
         let opts = SolverOptions::default();
-        let t240 = scf_step(&sys, &opts, &ClusterSpec::new(MachineModel::frontier(), 240))
-            .total_seconds;
-        let t960 = scf_step(&sys, &opts, &ClusterSpec::new(MachineModel::frontier(), 960))
-            .total_seconds;
+        let t240 = scf_step(
+            &sys,
+            &opts,
+            &ClusterSpec::new(MachineModel::frontier(), 240),
+        )
+        .total_seconds;
+        let t960 = scf_step(
+            &sys,
+            &opts,
+            &ClusterSpec::new(MachineModel::frontier(), 960),
+        )
+        .total_seconds;
         assert!(t960 < t240);
         let speedup = t240 / t960;
         assert!(speedup > 2.0 && speedup < 4.0, "speedup {speedup}");

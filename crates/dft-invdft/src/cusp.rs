@@ -24,9 +24,8 @@ pub fn cusp_correct_density(
         // density value at the blend radius (FE interpolation)
         for n in 0..space.nnodes() {
             let c = space.node_coord(n);
-            let r = ((c[0] - pos[0]).powi(2) + (c[1] - pos[1]).powi(2)
-                + (c[2] - pos[2]).powi(2))
-            .sqrt();
+            let r = ((c[0] - pos[0]).powi(2) + (c[1] - pos[1]).powi(2) + (c[2] - pos[2]).powi(2))
+                .sqrt();
             if r < r_cusp {
                 // rho_cusp(r) = rho(r_cusp) * exp(-2 Z (r - r_cusp)) gives
                 // the exact log-derivative -2Z; blend smoothly
@@ -85,7 +84,10 @@ mod tests {
         let q0 = rho.integrate(&space);
         let fixed = cusp_correct_density(&space, &rho, &[(2.0, ctr)], 0.9);
         let q1 = fixed.integrate(&space);
-        assert!((q0 - q1).abs() < 1e-9 * q0, "charge preserved: {q0} vs {q1}");
+        assert!(
+            (q0 - q1).abs() < 1e-9 * q0,
+            "charge preserved: {q0} vs {q1}"
+        );
         // corrected density has larger value at the nucleus than the edge
         // value extrapolated flat (the cusp points up)
         let center = fixed.eval(&space, ctr);

@@ -145,8 +145,7 @@ pub fn invert(
         let v_eff: Vec<f64> = (0..nn).map(|i| v_fixed[i] + vxc[i]).collect();
         let h = KsHamiltonian::<f64>::new(space, &v_eff, [1.0; 3]);
         let (tmin, tmax) = lanczos_bounds(&h, 10, cfg.seed + 1);
-        let (mut a0, mut a) =
-            window.unwrap_or((tmin - 1.0, tmin + 0.1 * (tmax - tmin)));
+        let (mut a0, mut a) = window.unwrap_or((tmin - 1.0, tmin + 0.1 * (tmax - tmin)));
         a0 = a0.min(tmin - 1.0);
         a = a.clamp(a0 + 1e-3 * (tmax - a0), 0.9 * tmax);
         let opts = ChfesOptions {
@@ -154,7 +153,11 @@ pub fn invert(
             block_size: cfg.n_states,
             mixed_precision: false,
         };
-        let passes = if iter == 0 { cfg.eig_passes + 3 } else { cfg.eig_passes };
+        let passes = if iter == 0 {
+            cfg.eig_passes + 3
+        } else {
+            cfg.eig_passes
+        };
         let mut evals = vec![];
         for _ in 0..passes {
             evals = chfes(&h, &mut psi, (a0, a, tmax), &opts);
@@ -201,7 +204,7 @@ pub fn invert(
             }
             _ => {}
         }
-        if best.as_ref().map_or(true, |(r, _)| resid < *r) {
+        if best.as_ref().is_none_or(|(r, _)| resid < *r) {
             best = Some((resid, vxc.clone()));
             step *= 1.05;
         }
@@ -239,7 +242,15 @@ pub fn invert(
         }
         let mut p = Matrix::<f64>::zeros(nd, nb);
         let stats = if cfg.precondition {
-            block_minres(&h, &prec, &shifts, &g, &mut p, cfg.minres_tol, cfg.minres_max_iter)
+            block_minres(
+                &h,
+                &prec,
+                &shifts,
+                &g,
+                &mut p,
+                cfg.minres_tol,
+                cfg.minres_max_iter,
+            )
         } else {
             block_minres(
                 &h,
@@ -333,8 +344,7 @@ mod tests {
     fn setup() -> (FeSpace, AtomicSystem) {
         let l = 10.0;
         let c = l / 2.0;
-        let ax =
-            || Axis::graded(0.0, l, 0.6, 2.5, &[c], 2.5, BoundaryCondition::Dirichlet);
+        let ax = || Axis::graded(0.0, l, 0.6, 2.5, &[c], 2.5, BoundaryCondition::Dirichlet);
         let space = FeSpace::new(Mesh3d::new([ax(), ax(), ax()], 3));
         let sys = AtomicSystem::new(vec![Atom {
             kind: AtomKind::Pseudo { z: 2.0, r_c: 0.6 },
@@ -355,7 +365,11 @@ mod tests {
             ..ScfConfig::default()
         };
         let r = scf(space, sys, &SyntheticTruth, &cfg, &[KPoint::gamma()]);
-        assert!(r.converged, "truth SCF must converge: {:?}", r.residual_history);
+        assert!(
+            r.converged,
+            "truth SCF must converge: {:?}",
+            r.residual_history
+        );
         (r.density, r.vxc)
     }
 
@@ -384,9 +398,8 @@ mod tests {
             .map(|i| rho_star.values[i] * space.mass_diag()[i])
             .collect();
         let wsum: f64 = w.iter().sum();
-        let mean = |v: &[f64]| -> f64 {
-            v.iter().zip(&w).map(|(&a, &b)| a * b).sum::<f64>() / wsum
-        };
+        let mean =
+            |v: &[f64]| -> f64 { v.iter().zip(&w).map(|(&a, &b)| a * b).sum::<f64>() / wsum };
         let m_rec = mean(&r.vxc);
         let m_tru = mean(&vxc_truth);
         let mut num = 0.0;
@@ -437,7 +450,13 @@ mod tests {
             first_iter_cf_passes: 5,
             ..ScfConfig::default()
         };
-        let truth = scf(&space, &sys, &dft_core::xc::Lda, &cfg_scf, &[KPoint::gamma()]);
+        let truth = scf(
+            &space,
+            &sys,
+            &dft_core::xc::Lda,
+            &cfg_scf,
+            &[KPoint::gamma()],
+        );
         assert!(truth.converged);
         let cfg = InvDftConfig {
             n_states: 4,

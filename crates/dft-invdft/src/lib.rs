@@ -31,6 +31,8 @@
 //! functional's potential from its density alone (DESIGN.md S2).
 
 #![deny(unsafe_code)]
+// indexed loops deliberately mirror the paper's subscript notation
+#![allow(clippy::needless_range_loop)]
 
 pub mod cusp;
 pub mod invert;

@@ -42,7 +42,8 @@ pub fn cholesky<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>, LinalgError> {
         for k in 0..j {
             d -= l[(j, k)].abs_sq();
         }
-        if !(d.to_f64() > 0.0) {
+        // NaN must also fail, hence the explicit partial ordering
+        if d.to_f64().partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(LinalgError::NotPositiveDefinite(j));
         }
         let dj = d.sqrt();

@@ -201,9 +201,7 @@ mod tests {
     }
 
     fn test_mat(m: usize, n: usize, seed: f64) -> Matrix<f64> {
-        Matrix::from_fn(m, n, |i, j| {
-            ((i * 31 + j * 17) as f64 * 0.618 + seed).sin()
-        })
+        Matrix::from_fn(m, n, |i, j| ((i * 31 + j * 17) as f64 * 0.618 + seed).sin())
     }
 
     #[test]

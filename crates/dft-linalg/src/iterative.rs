@@ -391,7 +391,15 @@ impl<T: Scalar> LinearOperator<T> for DenseOperator<T> {
         self.a.nrows()
     }
     fn apply(&self, x: &Matrix<T>, y: &mut Matrix<T>) {
-        crate::gemm::gemm(T::ONE, &self.a, crate::gemm::Op::None, x, crate::gemm::Op::None, T::ZERO, y);
+        crate::gemm::gemm(
+            T::ONE,
+            &self.a,
+            crate::gemm::Op::None,
+            x,
+            crate::gemm::Op::None,
+            T::ZERO,
+            y,
+        );
     }
 }
 
@@ -498,7 +506,10 @@ mod tests {
     fn block_minres_complex_hermitian() {
         let n = 12;
         let bm = Matrix::from_fn(n, n, |i, j| {
-            C64::new(((i + 2 * j) as f64 * 0.3).sin(), ((i * j) as f64 * 0.1).cos())
+            C64::new(
+                ((i + 2 * j) as f64 * 0.3).sin(),
+                ((i * j) as f64 * 0.1).cos(),
+            )
         });
         let mut a = matmul(&bm, Op::ConjTrans, &bm, Op::None);
         a.symmetrize_hermitian();

@@ -22,6 +22,8 @@
 //! * [`lowdin`] — Löwdin (symmetric) orthonormalization.
 
 #![deny(unsafe_code)]
+// indexed loops deliberately mirror the paper's subscript notation
+#![allow(clippy::needless_range_loop)]
 
 pub mod batched;
 pub mod blas1;
@@ -41,4 +43,4 @@ pub use gemm::{gemm, gemm_mixed, Op};
 pub use iterative::{block_minres, cg, minres, IterStats, LinearOperator, Preconditioner};
 pub use lowdin::lowdin_orthonormalize;
 pub use matrix::Matrix;
-pub use scalar::{C32, C64, Real, Scalar};
+pub use scalar::{Real, Scalar, C32, C64};

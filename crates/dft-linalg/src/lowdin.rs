@@ -83,7 +83,12 @@ mod tests {
             s[(i, i)] += 3.0;
         }
         let si = inv_sqrt(&s).unwrap();
-        let prod = matmul(&matmul(&si, Op::None, &s, Op::None), Op::None, &si, Op::None);
+        let prod = matmul(
+            &matmul(&si, Op::None, &s, Op::None),
+            Op::None,
+            &si,
+            Op::None,
+        );
         assert!(prod.max_abs_diff(&Matrix::identity(6)) < 1e-10);
     }
 

@@ -189,7 +189,10 @@ impl<T: Scalar> Matrix<T> {
 
     /// Largest entrywise modulus.
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().map(|v| v.abs().to_f64()).fold(0.0, f64::max)
+        self.data
+            .iter()
+            .map(|v| v.abs().to_f64())
+            .fold(0.0, f64::max)
     }
 
     /// Hermitian symmetrization `(A + A†)/2` (useful to clean up roundoff
@@ -286,7 +289,8 @@ mod tests {
     fn index_round_trip_column_major() {
         let mut m = Matrix::<f64>::zeros(3, 2);
         m[(2, 1)] = 7.0;
-        assert_eq!(m.as_slice()[1 * 3 + 2], 7.0);
+        // column-major: column 1, row 2 lands at offset 1 * nrows + 2 = 5
+        assert_eq!(m.as_slice()[5], 7.0);
         assert_eq!(m.col(1)[2], 7.0);
     }
 

@@ -163,9 +163,7 @@ mod twin_tests {
                 continue;
             }
             let found = twin.positions.iter().any(|q| {
-                (q[0] - p[0]).abs() < 1e-9
-                    && (q[1] - p[1]).abs() < 1e-9
-                    && (q[2] - zm).abs() < 1e-9
+                (q[0] - p[0]).abs() < 1e-9 && (q[1] - p[1]).abs() < 1e-9 && (q[2] - zm).abs() < 1e-9
             });
             assert!(found, "atom {i} at {p:?} lacks mirror partner");
         }

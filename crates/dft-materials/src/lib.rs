@@ -16,6 +16,8 @@
 //! All generators are deterministic given their seeds.
 
 #![deny(unsafe_code)]
+// indexed loops deliberately mirror the paper's subscript notation
+#![allow(clippy::needless_range_loop)]
 
 pub mod defects;
 pub mod mg;

@@ -81,6 +81,8 @@ pub fn icosahedral_quasicrystal(p: &QcParams) -> (Vec<[f64; 3]>, Vec<f64>) {
     let mut perp_norms = Vec::new();
     // iterate over Z^6 box
     let mut idx = [0i32; 6];
+    // the recursion threads the whole cut-and-project state explicitly
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         d: usize,
         idx: &mut [i32; 6],
@@ -111,7 +113,18 @@ pub fn icosahedral_quasicrystal(p: &QcParams) -> (Vec<[f64; 3]>, Vec<f64>) {
         }
         for v in -n..=n {
             idx[d] = v;
-            rec(d + 1, idx, n, a, b, scale, norm, window, positions, perp_norms);
+            rec(
+                d + 1,
+                idx,
+                n,
+                a,
+                b,
+                scale,
+                norm,
+                window,
+                positions,
+                perp_norms,
+            );
         }
     }
     rec(
@@ -178,8 +191,7 @@ pub fn rotation_about(u: [f64; 3], t: f64) -> [[f64; 3]; 3] {
             for k in 0..3 {
                 cross += eps(i, j, k) * u[k];
             }
-            r[i][j] =
-                c * if i == j { 1.0 } else { 0.0 } + (1.0 - c) * u[i] * u[j] - s * cross;
+            r[i][j] = c * if i == j { 1.0 } else { 0.0 } + (1.0 - c) * u[i] * u[j] - s * cross;
         }
     }
     r
@@ -204,9 +216,7 @@ mod tests {
     fn point_set_is_nonempty_and_origin_included() {
         let (pos, _) = icosahedral_quasicrystal(&small_params());
         assert!(pos.len() > 50, "got {} points", pos.len());
-        assert!(pos
-            .iter()
-            .any(|p| p.iter().all(|&c| c.abs() < 1e-12)));
+        assert!(pos.iter().any(|p| p.iter().all(|&c| c.abs() < 1e-12)));
     }
 
     #[test]

@@ -191,8 +191,8 @@ mod tests {
         let rho = 0.8;
         let g = 0.5;
         let s = MlxcModel::reduced_gradient(rho, g);
-        let expect = (3.0 * std::f64::consts::PI.powi(2)).powf(1.0 / 3.0) * g
-            / (2.0 * rho.powf(4.0 / 3.0));
+        let expect =
+            (3.0 * std::f64::consts::PI.powi(2)).powf(1.0 / 3.0) * g / (2.0 * rho.powf(4.0 / 3.0));
         assert!((s - expect).abs() < 1e-12);
     }
 
@@ -206,7 +206,11 @@ mod tests {
         let ep = m.eval_point(rho + eps, xi, gn).e;
         let em = m.eval_point(rho - eps, xi, gn).e;
         let fd = (ep - em) / (2.0 * eps);
-        assert!((p.de_drho - fd).abs() < 1e-6 * (1.0 + fd.abs()), "{} vs {fd}", p.de_drho);
+        assert!(
+            (p.de_drho - fd).abs() < 1e-6 * (1.0 + fd.abs()),
+            "{} vs {fd}",
+            p.de_drho
+        );
     }
 
     #[test]
@@ -219,7 +223,11 @@ mod tests {
         let ep = m.eval_point(rho, xi, gn + eps).e;
         let em = m.eval_point(rho, xi, gn - eps).e;
         let fd = (ep - em) / (2.0 * eps);
-        assert!((p.de_dgrad - fd).abs() < 1e-6 * (1.0 + fd.abs()), "{} vs {fd}", p.de_dgrad);
+        assert!(
+            (p.de_dgrad - fd).abs() < 1e-6 * (1.0 + fd.abs()),
+            "{} vs {fd}",
+            p.de_dgrad
+        );
     }
 
     #[test]

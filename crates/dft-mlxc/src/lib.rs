@@ -26,6 +26,8 @@
 //! finite differences.
 
 #![deny(unsafe_code)]
+// indexed loops deliberately mirror the paper's subscript notation
+#![allow(clippy::needless_range_loop)]
 
 pub mod adam;
 pub mod functional;
@@ -33,6 +35,6 @@ pub mod nn;
 pub mod train;
 
 pub use adam::Adam;
-pub use functional::{MlxcModel, PointEval, PointAdjoint};
+pub use functional::{MlxcModel, PointAdjoint, PointEval};
 pub use nn::Mlp;
 pub use train::{train, Dataset, DivergenceOp, SystemSample, TrainConfig, TrainReport};

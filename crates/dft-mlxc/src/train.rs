@@ -49,8 +49,7 @@ impl SystemSample {
     pub fn grad_norm(&self) -> Vec<f64> {
         (0..self.rho.len())
             .map(|i| {
-                (self.grad[0][i].powi(2) + self.grad[1][i].powi(2) + self.grad[2][i].powi(2))
-                    .sqrt()
+                (self.grad[0][i].powi(2) + self.grad[1][i].powi(2) + self.grad[2][i].powi(2)).sqrt()
             })
             .collect()
     }
@@ -116,11 +115,7 @@ pub fn evaluate_vxc(model: &MlxcModel, sys: &SystemSample) -> Vec<f64> {
 }
 
 /// Composite loss and its parameter gradient over the whole dataset.
-pub fn loss_and_grads(
-    model: &MlxcModel,
-    data: &Dataset,
-    cfg: &TrainConfig,
-) -> (f64, ParamGrads) {
+pub fn loss_and_grads(model: &MlxcModel, data: &Dataset, cfg: &TrainConfig) -> (f64, ParamGrads) {
     let mut grads = ParamGrads::zeros(&model.net);
     let mut loss = 0.0;
     for sys in data {
@@ -240,7 +235,12 @@ mod tests {
         let n = 48;
         let h = 0.25;
         let rho: Vec<f64> = (0..n)
-            .map(|i| 0.4 + 0.3 * (2.0 * std::f64::consts::PI * i as f64 / n as f64).sin().powi(2))
+            .map(|i| {
+                0.4 + 0.3
+                    * (2.0 * std::f64::consts::PI * i as f64 / n as f64)
+                        .sin()
+                        .powi(2)
+            })
             .collect();
         let gradx: Vec<f64> = (0..n)
             .map(|i| (rho[(i + 1) % n] - rho[(i + n - 1) % n]) / (2.0 * h))

@@ -83,7 +83,7 @@ fn sign_excite(s: u32, p: usize, q: usize) -> f64 {
     } else {
         0
     };
-    if (s & mask).count_ones() % 2 == 0 {
+    if (s & mask).count_ones().is_multiple_of(2) {
         1.0
     } else {
         -1.0
@@ -156,12 +156,8 @@ impl<'a> FciProblem<'a> {
         let no = ints.n_orb;
         // index lookup
         use std::collections::HashMap;
-        let index: HashMap<(u32, u32), usize> = self
-            .dets
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (d, i))
-            .collect();
+        let index: HashMap<(u32, u32), usize> =
+            self.dets.iter().enumerate().map(|(i, &d)| (d, i)).collect();
 
         self.dets
             .par_iter()
@@ -317,7 +313,11 @@ impl<'a> FciProblem<'a> {
             // preconditioned correction: dx = -r / (diag - e)
             for i in 0..dim {
                 let d = diag[i] - e;
-                let d = if d.abs() < 0.1 { 0.1 * d.signum().max(0.0) + 0.05 } else { d };
+                let d = if d.abs() < 0.1 {
+                    0.1 * d.signum().max(0.0) + 0.05
+                } else {
+                    d
+                };
                 x[i] -= r[i] / d;
             }
             // normalize
@@ -343,12 +343,8 @@ impl<'a> FciProblem<'a> {
     pub fn one_rdm(&self, c: &[f64]) -> Vec<f64> {
         let no = self.ints.n_orb;
         use std::collections::HashMap;
-        let index: HashMap<(u32, u32), usize> = self
-            .dets
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (d, i))
-            .collect();
+        let index: HashMap<(u32, u32), usize> =
+            self.dets.iter().enumerate().map(|(i, &d)| (d, i)).collect();
         let mut d = vec![0.0; no * no];
         for (i, &(a, b)) in self.dets.iter().enumerate() {
             let ci = c[i];
@@ -445,8 +441,15 @@ mod tests {
         // mean-field reference: doubly occupied lowest orbital
         let e_ref = 2.0 * ints.h(0, 0) + ints.g(0, 0, 0, 0);
         let r = fci.solve(1e-9, 400);
-        assert!(r.energy < e_ref, "FCI {} must beat HF-like {e_ref}", r.energy);
-        assert!(e_ref - r.energy < 0.5, "correlation energy should be modest");
+        assert!(
+            r.energy < e_ref,
+            "FCI {} must beat HF-like {e_ref}",
+            r.energy
+        );
+        assert!(
+            e_ref - r.energy < 0.5,
+            "correlation energy should be modest"
+        );
     }
 
     #[test]
@@ -459,7 +462,10 @@ mod tests {
                 FciProblem::new(&ints, 1, 1).solve(1e-9, 400).energy
             })
             .collect();
-        assert!(e[1] <= e[0] + 1e-9, "bigger basis must not raise energy: {e:?}");
+        assert!(
+            e[1] <= e[0] + 1e-9,
+            "bigger basis must not raise energy: {e:?}"
+        );
     }
 
     #[test]

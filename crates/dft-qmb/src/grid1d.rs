@@ -95,7 +95,10 @@ mod tests {
         for (i, &e) in evals.iter().enumerate() {
             let nq = (i + 1) as f64;
             let exact = nq * nq * std::f64::consts::PI.powi(2) / (2.0 * leff * leff);
-            assert!((e - exact).abs() < 2e-3 * exact.max(0.01), "level {i}: {e} vs {exact}");
+            assert!(
+                (e - exact).abs() < 2e-3 * exact.max(0.01),
+                "level {i}: {e} vs {exact}"
+            );
         }
     }
 
@@ -113,7 +116,11 @@ mod tests {
     #[test]
     fn orbitals_are_grid_orthonormal() {
         let g = Grid1d::symmetric(16.0, 161);
-        let v: Vec<f64> = g.coords().iter().map(|&x| -1.0 / (x * x + 1.0).sqrt()).collect();
+        let v: Vec<f64> = g
+            .coords()
+            .iter()
+            .map(|&x| -1.0 / (x * x + 1.0).sqrt())
+            .collect();
         let (_, orbs) = g.orbitals(&v, 5);
         for p in 0..5 {
             for q in 0..5 {

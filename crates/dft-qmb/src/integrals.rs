@@ -26,11 +26,7 @@ impl OrbitalIntegrals {
     /// problem, so `h1` can be formed without re-applying the kinetic
     /// stencil: `h[pq] = eps_p delta_pq` in the eigenbasis of
     /// `-1/2 d2/dx2 + v_ext` — exact by construction.
-    pub fn in_eigenbasis(
-        grid: Grid1d,
-        orbital_energies: &[f64],
-        orbitals: Matrix<f64>,
-    ) -> Self {
+    pub fn in_eigenbasis(grid: Grid1d, orbital_energies: &[f64], orbitals: Matrix<f64>) -> Self {
         let n_orb = orbital_energies.len();
         assert_eq!(orbitals.ncols(), n_orb);
         let mut h1 = vec![0.0; n_orb * n_orb];
@@ -73,8 +69,7 @@ impl OrbitalIntegrals {
                 for xp in 0..n {
                     let mut s = 0.0;
                     for x in 0..n {
-                        s += orbs[(x, p)] * orbs[(x, q)]
-                            * soft_coulomb(grid.x(x) - grid.x(xp));
+                        s += orbs[(x, p)] * orbs[(x, q)] * soft_coulomb(grid.x(x) - grid.x(xp));
                     }
                     v[xp] = s * h;
                 }

@@ -28,6 +28,8 @@
 //! * [`scaling`] — cost/dimension probes for the Fig. 1 reproduction.
 
 #![deny(unsafe_code)]
+// indexed loops deliberately mirror the paper's subscript notation
+#![allow(clippy::needless_range_loop)]
 
 pub mod fci;
 pub mod grid1d;

@@ -15,7 +15,11 @@ fn main() {
         gpu_aware: false,
         ..SolverOptions::default()
     };
-    let r = scf_step(&twin_c, &opts, &ClusterSpec::new(MachineModel::frontier(), 8000));
+    let r = scf_step(
+        &twin_c,
+        &opts,
+        &ClusterSpec::new(MachineModel::frontier(), 8000),
+    );
     println!("The Gordon-Bell run: {} on 8,000 Frontier nodes", r.system);
     println!(
         "  {:.0} supercell electrons, M = {:.2e} FE DoF",

@@ -26,9 +26,16 @@ fn main() {
     println!("training systems: hidden-truth SCF -> invDFT -> MLXC training");
     let train_set = MiniSystem::training_set();
     let (model, loss, diags) = train_mlxc_from_invdft(&train_set[..3], &cfg);
-    println!("\ntraining loss {:.3e} -> {:.3e}", loss[0], loss.last().unwrap());
+    println!(
+        "\ntraining loss {:.3e} -> {:.3e}",
+        loss[0],
+        loss.last().unwrap()
+    );
     for d in &diags {
-        println!("  {}: invDFT mismatch {:.2e} -> {:.2e}", d.name, d.invdft_first, d.invdft_last);
+        println!(
+            "  {}: invDFT mismatch {:.2e} -> {:.2e}",
+            d.name, d.invdft_first, d.invdft_last
+        );
     }
 
     println!("\nheld-out test: SCF with MLXC vs LDA vs hidden truth");

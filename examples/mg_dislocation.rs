@@ -63,8 +63,14 @@ fn main() {
         // 2 k-points along the periodic dislocation line (as in the paper's
         // DislocMgY) — this exercises the complex Bloch path
         let kpts = [
-            KPoint { frac: [0.0, 0.0, 0.0], weight: 0.5 },
-            KPoint { frac: [0.0, 0.0, 0.25], weight: 0.5 },
+            KPoint {
+                frac: [0.0, 0.0, 0.0],
+                weight: 0.5,
+            },
+            KPoint {
+                frac: [0.0, 0.0, 0.25],
+                weight: 0.5,
+            },
         ];
         let r = scf(&space, &system, &Lda, &cfg, &kpts);
         println!(

@@ -60,7 +60,15 @@ fn main() {
         let ax = |d: usize| {
             let c: Vec<f64> = np.positions.iter().map(|p| p[d]).collect();
             let _ = &centers;
-            Axis::graded(0.0, np.cell[d], 0.8, 3.0, &c, 2.0, BoundaryCondition::Dirichlet)
+            Axis::graded(
+                0.0,
+                np.cell[d],
+                0.8,
+                3.0,
+                &c,
+                2.0,
+                BoundaryCondition::Dirichlet,
+            )
         };
         let space = FeSpace::new(Mesh3d::new([ax(0), ax(1), ax(2)], 3));
         let cfg = ScfConfig {

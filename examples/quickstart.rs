@@ -15,9 +15,24 @@ fn main() {
     // A helium-like pseudo-atom in a 12 Bohr box, FE mesh graded toward
     // the nucleus, spectral degree 3.
     let l = 12.0;
-    let ax = || Axis::graded(0.0, l, 0.5, 3.0, &[l / 2.0], 3.0, BoundaryCondition::Dirichlet);
+    let ax = || {
+        Axis::graded(
+            0.0,
+            l,
+            0.5,
+            3.0,
+            &[l / 2.0],
+            3.0,
+            BoundaryCondition::Dirichlet,
+        )
+    };
     let space = FeSpace::new(Mesh3d::new([ax(), ax(), ax()], 3));
-    println!("FE space: {} nodes, {} DoFs, {} cells", space.nnodes(), space.ndofs(), space.cells().len());
+    println!(
+        "FE space: {} nodes, {} DoFs, {} cells",
+        space.nnodes(),
+        space.ndofs(),
+        space.cells().len()
+    );
 
     let system = AtomicSystem::new(vec![Atom {
         kind: AtomKind::Pseudo { z: 2.0, r_c: 0.5 },

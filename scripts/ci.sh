@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lints, release build, full test suite.
+# Everything runs offline — external crates are vendored under vendor/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --offline --workspace
+
+echo "==> CI green"

@@ -75,7 +75,12 @@ fn full_pipeline_mlxc_beats_lda_against_hidden_truth() {
     let train_set = MiniSystem::training_set();
     let (model, loss, diags) = train_mlxc_from_invdft(&train_set[..2], &cfg);
     // training made progress
-    assert!(loss.last().unwrap() < &(0.5 * loss[0]), "loss {:?} -> {:?}", loss[0], loss.last());
+    assert!(
+        loss.last().unwrap() < &(0.5 * loss[0]),
+        "loss {:?} -> {:?}",
+        loss[0],
+        loss.last()
+    );
     for d in &diags {
         assert!(
             d.invdft_last < 0.5 * d.invdft_first,
@@ -122,8 +127,14 @@ fn periodic_mg_cell_with_kpoints_converges() {
     let space = FeSpace::new(Mesh3d::new([mk(0, 2), mk(1, 3), mk(2, 3)], 3));
     let n_el = system.n_electrons();
     let kpts = [
-        KPoint { frac: [0.0, 0.0, 0.0], weight: 0.5 },
-        KPoint { frac: [0.25, 0.0, 0.0], weight: 0.5 },
+        KPoint {
+            frac: [0.0, 0.0, 0.0],
+            weight: 0.5,
+        },
+        KPoint {
+            frac: [0.25, 0.0, 0.0],
+            weight: 0.5,
+        },
     ];
     let r = scf(&space, &system, &Lda, &atom_cfg(n_el), &kpts);
     assert!(r.converged, "Mg cell: {:?}", r.residual_history);

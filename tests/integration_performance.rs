@@ -1,7 +1,9 @@
 //! Integration tests of the performance reproduction: the headline shapes
 //! of the paper's tables and figures must hold for the calibrated models.
 
-use dft_bench::{disloc_mg_y, twin_disloc_mg_y_a, twin_disloc_mg_y_b, twin_disloc_mg_y_c, ybcd_quasicrystal};
+use dft_bench::{
+    disloc_mg_y, twin_disloc_mg_y_a, twin_disloc_mg_y_b, twin_disloc_mg_y_c, ybcd_quasicrystal,
+};
 use dft_fe_mlxc::hpc::machine::{ClusterSpec, MachineModel};
 use dft_fe_mlxc::hpc::schedule::{scf_step, SolverOptions};
 
@@ -20,11 +22,25 @@ fn table3_headline_numbers_within_tolerance() {
         (twin_disloc_mg_y_c(), 8000, 513.7, 659.7),
     ];
     for (sys, nodes, t_paper, pflops_paper) in cases {
-        let r = scf_step(&sys, &paper_opts(), &ClusterSpec::new(MachineModel::frontier(), nodes));
+        let r = scf_step(
+            &sys,
+            &paper_opts(),
+            &ClusterSpec::new(MachineModel::frontier(), nodes),
+        );
         let dt = (r.total_seconds - t_paper).abs() / t_paper;
         let dp = (r.sustained_pflops() - pflops_paper).abs() / pflops_paper;
-        assert!(dt < 0.15, "{}: walltime {} vs paper {t_paper}", r.system, r.total_seconds);
-        assert!(dp < 0.20, "{}: {} PFLOPS vs paper {pflops_paper}", r.system, r.sustained_pflops());
+        assert!(
+            dt < 0.15,
+            "{}: walltime {} vs paper {t_paper}",
+            r.system,
+            r.total_seconds
+        );
+        assert!(
+            dp < 0.20,
+            "{}: {} PFLOPS vs paper {pflops_paper}",
+            r.system,
+            r.sustained_pflops()
+        );
     }
 }
 
@@ -38,12 +54,19 @@ fn table3_per_step_shape() {
     // CF is the most expensive step
     let cf = r.step("CF").seconds;
     for name in ["CholGS-S", "CholGS-O", "RR-P", "RR-SR", "DC"] {
-        assert!(r.step(name).seconds < cf, "{name} should be cheaper than CF");
+        assert!(
+            r.step(name).seconds < cf,
+            "{name} should be cheaper than CF"
+        );
     }
     // mixed-precision signature: CholGS-O and RR-SR exceed the FP64 peak
     for name in ["CholGS-O", "RR-SR"] {
         let eff = r.step(name).pflops() / r.peak_pflops;
-        assert!(eff > 0.85, "{name} at {:.0}% of peak (paper: >100%)", 100.0 * eff);
+        assert!(
+            eff > 0.85,
+            "{name} at {:.0}% of peak (paper: >100%)",
+            100.0 * eff
+        );
     }
     // RR-SR counts exactly 2x CholGS-O (alpha = 2 vs 1)
     let ratio = r.step("RR-SR").pflop.unwrap() / r.step("CholGS-O").pflop.unwrap();
@@ -61,7 +84,10 @@ fn fig4_machine_ordering_at_bf_500() {
     let su = eff(MachineModel::summit());
     let cr = eff(MachineModel::crusher());
     let pm = eff(MachineModel::perlmutter());
-    assert!(pm > su && su > cr, "Perlmutter {pm:.2} > Summit {su:.2} > Crusher {cr:.2}");
+    assert!(
+        pm > su && su > cr,
+        "Perlmutter {pm:.2} > Summit {su:.2} > Crusher {cr:.2}"
+    );
 }
 
 #[test]
@@ -79,17 +105,34 @@ fn fig8_strong_scaling_efficiency_falls_with_granularity() {
     let sys = ybcd_quasicrystal();
     let opts = SolverOptions::default();
     let t = |nodes: usize| {
-        scf_step(&sys, &opts, &ClusterSpec::new(MachineModel::perlmutter(), nodes)).total_seconds
+        scf_step(
+            &sys,
+            &opts,
+            &ClusterSpec::new(MachineModel::perlmutter(), nodes),
+        )
+        .total_seconds
     };
     let (t140, t560, t1120) = (t(140), t(560), t(1120));
     let eff560 = t140 * 140.0 / (t560 * 560.0);
     let eff1120 = t140 * 140.0 / (t1120 * 1120.0);
-    assert!(eff560 > eff1120, "efficiency must fall: {eff560} vs {eff1120}");
-    assert!(eff560 > 0.6 && eff560 < 0.95, "eff@560 {eff560} (paper ~0.8)");
-    assert!(eff1120 > 0.4 && eff1120 < 0.75, "eff@1120 {eff1120} (paper ~0.6)");
+    assert!(
+        eff560 > eff1120,
+        "efficiency must fall: {eff560} vs {eff1120}"
+    );
+    assert!(
+        eff560 > 0.6 && eff560 < 0.95,
+        "eff@560 {eff560} (paper ~0.8)"
+    );
+    assert!(
+        eff1120 > 0.4 && eff1120 < 0.75,
+        "eff@1120 {eff1120} (paper ~0.6)"
+    );
     // 5x-class speedup from 140 to 1120 nodes
     let speedup = t140 / t1120;
-    assert!(speedup > 3.5 && speedup < 6.5, "speedup {speedup} (paper ~5x)");
+    assert!(
+        speedup > 3.5 && speedup < 6.5,
+        "speedup {speedup} (paper ~5x)"
+    );
 }
 
 #[test]
@@ -107,5 +150,8 @@ fn qmb_wall_vs_dft_scaling() {
         scf_step(&sys, &SolverOptions::default(), &cluster).total_seconds
     };
     let ratio = t(8.0e4) / t(4.0e4);
-    assert!(ratio > 3.0 && ratio < 9.0, "DFT ~O(N^3): 2x electrons -> {ratio}x time");
+    assert!(
+        ratio > 3.0 && ratio < 9.0,
+        "DFT ~O(N^3): 2x electrons -> {ratio}x time"
+    );
 }

@@ -1,0 +1,277 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the real crate's execution model: invoked by `cargo bench` (cargo
+//! passes `--bench`) it times each benchmark and prints a mean per-iteration
+//! wall time plus optional throughput; invoked by `cargo test` it runs each
+//! benchmark body exactly once as a smoke test. No statistics, plotting, or
+//! baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    is_bench: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            is_bench: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            is_bench: self.is_bench,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+            throughput: None,
+            _crit: self,
+        }
+    }
+}
+
+/// Throughput annotation: reported as rate alongside the mean time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (or FLOPs, or any countable unit) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a single parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+
+    /// Id from a function name plus a parameter value.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing warm-up/measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    is_bench: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _crit: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Target duration of the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Number of measured iterations (upper bound; measurement time caps it).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher::new(
+            self.is_bench,
+            self.warm_up,
+            self.measurement,
+            self.sample_size,
+        );
+        f(&mut b);
+        b.report(&label, self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher::new(
+            self.is_bench,
+            self.warm_up,
+            self.measurement,
+            self.sample_size,
+        );
+        f(&mut b, input);
+        b.report(&label, self.throughput);
+        self
+    }
+
+    /// End the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing driver passed to each benchmark closure.
+pub struct Bencher {
+    is_bench: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mean: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(is_bench: bool, warm_up: Duration, measurement: Duration, sample_size: usize) -> Self {
+        Self {
+            is_bench,
+            warm_up,
+            measurement,
+            sample_size,
+            mean: None,
+            iters: 0,
+        }
+    }
+
+    /// Time `f`, called once per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if !self.is_bench {
+            // Test mode (`cargo test`): run once to validate the body.
+            black_box(f());
+            return;
+        }
+        let warm_end = Instant::now() + self.warm_up;
+        loop {
+            black_box(f());
+            if Instant::now() >= warm_end {
+                break;
+            }
+        }
+        let start = Instant::now();
+        let deadline = start + self.measurement;
+        let mut iters = 0u64;
+        while iters < self.sample_size as u64 {
+            black_box(f());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.mean = Some(start.elapsed() / iters.max(1) as u32);
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        let Some(mean) = self.mean else {
+            if self.is_bench {
+                println!("{label}: no measurement (b.iter never called)");
+            }
+            return;
+        };
+        let secs = mean.as_secs_f64();
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                format!("  {:.3e} elem/s", n as f64 / secs)
+            }
+            Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                format!("  {:.3e} B/s", n as f64 / secs)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{label}: mean {secs:.6e} s/iter ({} iters){rate}",
+            self.iters
+        );
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::from_parameter("n10"), &10u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>());
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_in_test_mode() {
+        benches();
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used in this
+//! workspace, and only in the MPSC configuration (cloned senders, a single
+//! receiver per rank), which `std::sync::mpsc` covers exactly.
+
+/// Drop-in subset of `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// Unbounded channel (alias of `std::sync::mpsc::channel`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn cloned_senders_reach_single_receiver() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(1).unwrap());
+            s.spawn(move || tx2.send(2).unwrap());
+        });
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access and a single CPU core, so
+//! this shim maps the `par_*` entry points used by the workspace onto plain
+//! sequential `std` iterators. Call sites compile unchanged — `par_iter()`,
+//! `par_iter_mut()`, `par_chunks_mut()` and `into_par_iter()` simply return
+//! the corresponding `std` iterator, whose adapters (`map`, `enumerate`,
+//! `take`, `for_each`, `collect`, ...) behave identically to rayon's for
+//! the deterministic, order-independent kernels in this repo.
+
+/// `rayon::prelude` lookalike: extension traits providing the `par_*`
+/// methods as sequential aliases.
+pub mod prelude {
+    /// `par_iter`/`par_iter_mut`/`par_chunks`/`par_chunks_mut` on slices.
+    pub trait ParallelSliceExt<T> {
+        /// Sequential alias of `rayon`'s `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential alias of `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential alias of `rayon`'s `par_chunks`.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+        /// Sequential alias of `rayon`'s `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceExt<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+
+    /// `into_par_iter` on any owned iterable (ranges, `Vec`, ...).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential alias of `rayon`'s `into_par_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_entry_points_match_sequential() {
+        let v = [1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| 2 * x).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+
+        let mut buf = vec![0.0f64; 6];
+        buf.par_chunks_mut(3).enumerate().for_each(|(j, c)| {
+            for v in c.iter_mut() {
+                *v = j as f64;
+            }
+        });
+        assert_eq!(buf, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+}

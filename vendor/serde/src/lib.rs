@@ -1,0 +1,300 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde's visitor architecture exists to avoid intermediate
+//! allocations; nothing in this workspace is serialization-bound, so this
+//! shim uses the far simpler value-tree design: [`Serialize`] lowers to a
+//! [`value::Value`] tree and [`Deserialize`] lifts from one. The derive
+//! macros re-exported from `serde_derive` generate impls of these traits
+//! for plain named-field structs, which is the only shape the workspace
+//! derives on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+/// Deserialization error: a human-readable path/description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// New error with a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+    /// The message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Lift `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::F(*self as f64))
+            }
+        }
+    )*};
+}
+ser_float!(f64, f32);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I(*self as i64))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! de_float {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| DeError::new(format!(
+                        "expected number, found {}", v.kind()
+                    )))
+            }
+        }
+    )*};
+}
+de_float!(f64, f32);
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| DeError::new(format!(
+                    "expected unsigned integer, found {}", v.kind()
+                )))?;
+                <$t>::try_from(u).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| DeError::new(format!(
+                    "expected integer, found {}", v.kind()
+                )))?;
+                <$t>::try_from(i).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Fetch field `name` from a struct object, defaulting to [`Value::Null`]
+/// when absent (so `Option` fields tolerate missing keys). Used by the
+/// derive-generated code.
+pub fn get_field<'a>(obj: &'a [(String, Value)], name: &str) -> &'a Value {
+    static NULL: Value = Value::Null;
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(f64::from_value(&3.5f64.to_value()).unwrap(), 3.5);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(i32::from_value(&(-4i32).to_value()).unwrap(), -4);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v = vec![1.0f64, 2.0, 3.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+        let arr = [1.0f64, 2.0, 3.0];
+        assert_eq!(<[f64; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&1.5f64.to_value()).unwrap(),
+            Some(1.5)
+        );
+    }
+
+    #[test]
+    fn integers_coerce_to_floats_but_not_conversely() {
+        assert_eq!(f64::from_value(&Value::Number(Number::U(4))).unwrap(), 4.0);
+        assert!(u64::from_value(&Value::Number(Number::F(4.5))).is_none_or_err());
+    }
+
+    trait NoneOrErr {
+        fn is_none_or_err(&self) -> bool;
+    }
+    impl<T> NoneOrErr for Result<T, DeError> {
+        fn is_none_or_err(&self) -> bool {
+            self.is_err()
+        }
+    }
+}

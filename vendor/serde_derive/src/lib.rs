@@ -1,0 +1,190 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates [`serde::Serialize`] / [`serde::Deserialize`] impls for the one
+//! shape this workspace derives on: non-generic structs with named fields and
+//! no `#[serde(...)]` attributes. The input is parsed directly from the token
+//! stream (no `syn`/`quote`): skip outer attributes and visibility, read the
+//! struct name, then split the brace-delimited body into `name: Type` fields
+//! at top-level commas (tracking `<...>` depth so generic field types such as
+//! `Vec<f64>` survive).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream, derive: &str) -> Result<StructDef, String> {
+    let mut toks = input.into_iter().peekable();
+
+    // Outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                // `pub(crate)` & friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => {
+            return Err(format!(
+                "#[derive({derive})] shim supports only structs, found {other:?}"
+            ))
+        }
+    }
+
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "#[derive({derive})] shim does not support generic struct `{name}`"
+            ))
+        }
+        other => {
+            return Err(format!(
+                "#[derive({derive})] shim supports only named-field structs \
+                 (struct `{name}`), found {other:?}"
+            ))
+        }
+    };
+
+    // Split the body into fields at top-level commas.
+    let mut fields = Vec::new();
+    let mut body_toks = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match body_toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    body_toks.next();
+                    body_toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    body_toks.next();
+                    if let Some(TokenTree::Group(g)) = body_toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            body_toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match body_toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name in `{name}`, found {other:?}")),
+        };
+        match body_toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}.{field}`, found {other:?}"
+                ))
+            }
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tok in body_toks.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+
+    Ok(StructDef { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` for a plain named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input, "Serialize") {
+        Ok(def) => def,
+        Err(msg) => return compile_error(&msg),
+    };
+    let pushes: String = def
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push(({f:?}.to_string(), \
+                 ::serde::Serialize::to_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}\n",
+        name = def.name,
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive `serde::Deserialize` for a plain named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input, "Deserialize") {
+        Ok(def) => def,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &def.name;
+    let inits: String = def
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::get_field(obj, {f:?}))\
+                 .map_err(|e| ::serde::DeError::new(\
+                     format!(\"{name}.{f}: {{}}\", e.message())))?,\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\
+                     format!(\"expected object for {name}, found {{}}\", v.kind())))?;\n\
+                 ::std::result::Result::Ok(Self {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}\n",
+    )
+    .parse()
+    .unwrap()
+}
