@@ -73,21 +73,29 @@ fn main() {
     let total = prof.total_seconds;
     for (step, seconds, flops) in prof.table3_rows() {
         let pct = 100.0 * seconds / total;
-        if flops > 0 {
-            println!(
-                "{:<14} {:>12.4} {:>7.1}% {:>14} {:>10.2}",
-                step,
-                seconds,
-                pct,
-                flops,
-                flops as f64 / seconds / 1e9
-            );
+        // Named rows go through the profile's derived metric; the merged
+        // "DH+EP+Others" tail has no single cumulative record, so rate it
+        // from its summed columns.
+        let gflops = prof.phase_gflops(&step).or(if flops > 0 && seconds > 0.0 {
+            Some(flops as f64 / seconds / 1e9)
         } else {
-            println!(
+            None
+        });
+        match gflops {
+            Some(g) => println!(
+                "{:<14} {:>12.4} {:>7.1}% {:>14} {:>10.2}",
+                step, seconds, pct, flops, g
+            ),
+            None => println!(
                 "{:<14} {:>12.4} {:>7.1}% {:>14} {:>10}",
                 step, seconds, pct, "-", "-"
-            );
+            ),
         }
+    }
+    println!();
+    println!("sustained GFLOPS by phase (cumulative over the SCF run):");
+    for (label, g) in prof.gflops_breakdown() {
+        println!("  {label:<10} {g:>8.2}");
     }
     println!(
         "{:<14} {:>12.4}   (scope coverage {:.1}% of the SCF loop wall clock)",

@@ -72,21 +72,29 @@ pub fn lanczos_bounds<T: Scalar>(op: &dyn LinearOperator<T>, k: usize, seed: u64
         let alpha = blas1::dot(v.col(0), w.col(0)).re().to_f64();
         alphas.push(alpha);
         // w = w - alpha v - beta v_prev
-        for i in 0..n {
-            let val = w.col(0)[i]
-                - v.col(0)[i].scale(T::Re::from_f64(alpha))
-                - v_prev.col(0)[i].scale(T::Re::from_f64(beta));
-            w.col_mut(0)[i] = val;
+        let ar = T::Re::from_f64(alpha);
+        let br = T::Re::from_f64(beta);
+        {
+            let vc = v.col(0);
+            let pc = v_prev.col(0);
+            for ((wv, &vv), &pv) in w.col_mut(0).iter_mut().zip(vc.iter()).zip(pc.iter()) {
+                *wv = *wv - vv.scale(ar) - pv.scale(br);
+            }
         }
         beta = blas1::nrm2(w.col(0)).to_f64();
         betas.push(beta);
         if beta < 1e-12 {
             break;
         }
-        v_prev = v.clone();
-        v = w.clone();
+        // Ping-pong buffer rotation instead of cloning: the old `v` becomes
+        // `v_prev`, the residual `w` becomes the new `v` (normalized in
+        // place), and the retired `v_prev` buffer is recycled as `w` for the
+        // next apply, which overwrites it entirely.
+        std::mem::swap(&mut v_prev, &mut v);
+        std::mem::swap(&mut v, &mut w);
+        let inv = T::Re::from_f64(1.0 / beta);
         for x in v.col_mut(0) {
-            *x = x.scale(T::Re::from_f64(1.0 / beta));
+            *x = x.scale(inv);
         }
     }
     // tridiagonal eigenvalues
@@ -105,8 +113,45 @@ pub fn lanczos_bounds<T: Scalar>(op: &dyn LinearOperator<T>, k: usize, seed: u64
     (theta_min, theta_max + betas[m - 1].abs())
 }
 
+/// Reused scratch for [`chebyshev_filter_scratch`]: the two auxiliary
+/// wavefunction blocks of the three-term recurrence, recycled across filter
+/// calls (and across the column blocks of one ChFES cycle) so the hot loop
+/// performs no allocation.
+pub struct CfScratch<T: Scalar> {
+    y: Matrix<T>,
+    hy: Matrix<T>,
+}
+
+impl<T: Scalar> CfScratch<T> {
+    /// Empty scratch; buffers are shaped on first use.
+    pub fn new() -> Self {
+        Self {
+            y: Matrix::zeros(0, 0),
+            hy: Matrix::zeros(0, 0),
+        }
+    }
+
+    fn ensure(&mut self, n: usize, nc: usize) {
+        if self.y.shape() != (n, nc) {
+            self.y = Matrix::zeros(n, nc);
+        }
+        if self.hy.shape() != (n, nc) {
+            self.hy = Matrix::zeros(n, nc);
+        }
+    }
+}
+
+impl<T: Scalar> Default for CfScratch<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// CF: apply the degree-`m` Chebyshev filter to the block `x` in place.
 /// Amplifies the spectrum below `a` (toward `a0`) and damps `[a, b]`.
+///
+/// Convenience wrapper over [`chebyshev_filter_scratch`] with one-shot
+/// scratch.
 pub fn chebyshev_filter<T: Scalar>(
     op: &dyn LinearOperator<T>,
     x: &mut Matrix<T>,
@@ -114,6 +159,23 @@ pub fn chebyshev_filter<T: Scalar>(
     a: f64,
     b: f64,
     a0: f64,
+) {
+    let mut scratch = CfScratch::new();
+    chebyshev_filter_scratch(op, x, m, a, b, a0, &mut scratch);
+}
+
+/// [`chebyshev_filter`] with caller-provided scratch. The recurrence keeps
+/// three live blocks (`X`, `Y`, `H Y`) and advances by pointer rotation
+/// (`std::mem::swap`), so per degree step the only work is one Hamiltonian
+/// apply and one fused element-wise update — no clones, no allocation.
+pub fn chebyshev_filter_scratch<T: Scalar>(
+    op: &dyn LinearOperator<T>,
+    x: &mut Matrix<T>,
+    m: usize,
+    a: f64,
+    b: f64,
+    a0: f64,
+    scratch: &mut CfScratch<T>,
 ) {
     assert!(m >= 1 && b > a && a > a0);
     let n = x.nrows();
@@ -123,35 +185,39 @@ pub fn chebyshev_filter<T: Scalar>(
     let mut sigma = e / (a0 - c);
     let sigma1 = sigma;
     let gamma = 2.0 / sigma1;
+    scratch.ensure(n, nc);
+    let CfScratch { y, hy } = scratch;
 
     // Y = (H X - c X) * (sigma1 / e)
-    let mut y = Matrix::<T>::zeros(n, nc);
-    op.apply(x, &mut y);
+    op.apply(x, y);
+    let ce = T::Re::from_f64(c);
+    let s1e = T::Re::from_f64(sigma1 / e);
     for j in 0..nc {
         let xcol = x.col(j);
-        let ycol = y.col_mut(j);
-        for i in 0..n {
-            ycol[i] =
-                (ycol[i] - xcol[i].scale(T::Re::from_f64(c))).scale(T::Re::from_f64(sigma1 / e));
+        for (yv, &xv) in y.col_mut(j).iter_mut().zip(xcol.iter()) {
+            *yv = (*yv - xv.scale(ce)).scale(s1e);
         }
     }
-    let mut hy = Matrix::<T>::zeros(n, nc);
     for _k in 2..=m {
         let sigma2 = 1.0 / (gamma - sigma);
-        op.apply(&y, &mut hy);
-        // Ynew = 2 (sigma2/e) (H Y - c Y) - (sigma * sigma2) X ; shift
+        op.apply(y, hy);
+        // Ynew = 2 (sigma2/e) (H Y - c Y) - (sigma * sigma2) X, written into
+        // the HY buffer; then rotate X <- Y <- Ynew. The retired X buffer
+        // becomes the next HY, fully overwritten by the next apply.
+        let s2e = T::Re::from_f64(2.0 * sigma2 / e);
+        let ss2 = T::Re::from_f64(sigma * sigma2);
         for j in 0..nc {
-            for i in 0..n {
-                let ynew = (hy.col(j)[i] - y.col(j)[i].scale(T::Re::from_f64(c)))
-                    .scale(T::Re::from_f64(2.0 * sigma2 / e))
-                    - x.col(j)[i].scale(T::Re::from_f64(sigma * sigma2));
-                x.col_mut(j)[i] = y.col(j)[i];
-                y.col_mut(j)[i] = ynew;
+            let xcol = x.col(j);
+            let ycol = y.col(j);
+            for ((hv, &yv), &xv) in hy.col_mut(j).iter_mut().zip(ycol.iter()).zip(xcol.iter()) {
+                *hv = (*hv - yv.scale(ce)).scale(s2e) - xv.scale(ss2);
             }
         }
+        std::mem::swap(x, y);
+        std::mem::swap(y, hy);
         sigma = sigma2;
     }
-    *x = y;
+    std::mem::swap(x, y);
 }
 
 /// Analytic FLOP count of one [`chebyshev_filter`] call of degree `m` on
@@ -223,15 +289,21 @@ pub fn chfes_profiled<T: Scalar>(
     let tsize = std::mem::size_of::<T>() as u64;
     let block_bytes = (nd * n_states) as u64 * tsize;
 
-    // [CF] blockwise filtering (plus the pre-CholGS column normalization)
+    // [CF] blockwise filtering (plus the pre-CholGS column normalization).
+    // The filter scratch and the block buffer persist across blocks.
     {
         let mut scope = PhaseScope::new(profile, Phase::Cf);
         let bf = opts.block_size.max(1);
+        let mut cf_scratch = CfScratch::new();
+        let mut block = Matrix::<T>::zeros(nd, bf.min(n_states));
         let mut j0 = 0;
         while j0 < n_states {
             let j1 = (j0 + bf).min(n_states);
-            let mut block = psi.cols_range(j0, j1);
-            chebyshev_filter(h, &mut block, opts.cheb_degree, a, b, a0);
+            if block.ncols() != j1 - j0 {
+                block = Matrix::zeros(nd, j1 - j0);
+            }
+            block.copy_cols_from(psi, j0);
+            chebyshev_filter_scratch(h, &mut block, opts.cheb_degree, a, b, a0, &mut cf_scratch);
             psi.set_cols(j0, &block);
             scope.add_flops(chebyshev_filter_flops(h, j1 - j0, opts.cheb_degree));
             scope.add_bytes(2 * (nd * (j1 - j0)) as u64 * tsize * opts.cheb_degree as u64);
@@ -249,6 +321,9 @@ pub fn chfes_profiled<T: Scalar>(
     }
 
     let bf = opts.block_size.max(1);
+    // One reusable ndofs x N work block serves CholGS-O, RR-P and RR-SR
+    // (results are swapped into `psi`, not copied).
+    let mut work = Matrix::<T>::zeros(nd, n_states);
 
     // [CholGS-S] overlap S = Psi_f† Psi_f
     let s = {
@@ -281,7 +356,6 @@ pub fn chfes_profiled<T: Scalar>(
         match linv {
             Ok(linv) => {
                 // Psi_o = Psi_f L^{-dagger}
-                let mut out = Matrix::<T>::zeros(nd, n_states);
                 if opts.mixed_precision {
                     gemm_mixed(
                         T::ONE,
@@ -290,7 +364,7 @@ pub fn chfes_profiled<T: Scalar>(
                         &linv,
                         Op::ConjTrans,
                         T::ZERO,
-                        &mut out,
+                        &mut work,
                     );
                 } else {
                     gemm(
@@ -300,10 +374,10 @@ pub fn chfes_profiled<T: Scalar>(
                         &linv,
                         Op::ConjTrans,
                         T::ZERO,
-                        &mut out,
+                        &mut work,
                     );
                 }
-                *psi = out;
+                std::mem::swap(psi, &mut work);
             }
             Err(_) => {
                 // filter produced a (numerically) rank-deficient block: fall
@@ -323,12 +397,11 @@ pub fn chfes_profiled<T: Scalar>(
         let mut scope = PhaseScope::new(profile, Phase::RrP);
         scope.add_flops(h.apply_flops(n_states) + gemm_flops::<T>(n_states, n_states, nd));
         scope.add_bytes(2 * block_bytes);
-        let mut hpsi = Matrix::<T>::zeros(nd, n_states);
-        h.apply(psi, &mut hpsi);
+        h.apply(psi, &mut work);
         let mut hp = if opts.mixed_precision {
-            adjoint_product_mixed(psi, &hpsi, bf)
+            adjoint_product_mixed(psi, &work, bf)
         } else {
-            matmul(psi, Op::ConjTrans, &hpsi, Op::None)
+            matmul(psi, Op::ConjTrans, &work, Op::None)
         };
         hp.symmetrize_hermitian();
         hp
@@ -346,10 +419,16 @@ pub fn chfes_profiled<T: Scalar>(
         let mut scope = PhaseScope::new(profile, Phase::RrSr);
         scope.add_flops(gemm_flops::<T>(nd, n_states, n_states));
         scope.add_bytes(2 * block_bytes);
-        let q = e.eigenvectors.map(|v| v); // same scalar type
-        let mut rotated = Matrix::<T>::zeros(nd, n_states);
-        gemm(T::ONE, psi, Op::None, &q, Op::None, T::ZERO, &mut rotated);
-        *psi = rotated;
+        gemm(
+            T::ONE,
+            psi,
+            Op::None,
+            &e.eigenvectors,
+            Op::None,
+            T::ZERO,
+            &mut work,
+        );
+        std::mem::swap(psi, &mut work);
     }
     e.eigenvalues
 }

@@ -78,23 +78,19 @@ impl<'a, T: Scalar> LinearOperator<T> for KsHamiltonian<'a, T> {
         let nd = self.space.ndofs();
         assert_eq!(x.nrows(), nd);
         let s = self.space.inv_sqrt_mass();
-        // xs = M^{-1/2} x
-        let mut xs = x.clone();
-        for j in 0..xs.ncols() {
-            let col = xs.col_mut(j);
-            for (i, v) in col.iter_mut().enumerate() {
-                *v = v.scale(T::Re::from_f64(s[i]));
-            }
-        }
-        // y = K xs ; K is the grad-grad stiffness, i.e. the discrete -∇²,
-        // so the kinetic operator -1/2 ∇² is +1/2 K.
-        self.space.apply_stiffness(&xs, y, self.phases);
+        // y = K M^{-1/2} x, with the input scaling fused into the cell
+        // gather (no copy of x). K is the grad-grad stiffness, i.e. the
+        // discrete -∇², so the kinetic operator -1/2 ∇² is +1/2 K.
+        self.space.apply_stiffness_scaled(x, y, self.phases, s);
         for j in 0..y.ncols() {
             let ycol = y.col_mut(j);
             let xcol = x.col(j);
-            for i in 0..nd {
-                ycol[i] = ycol[i].scale(T::Re::from_f64(0.5 * s[i]))
-                    + xcol[i].scale(T::Re::from_f64(self.v_eff_dof[i]));
+            for ((yv, &xv), (&si, &vi)) in ycol
+                .iter_mut()
+                .zip(xcol.iter())
+                .zip(s.iter().zip(self.v_eff_dof.iter()))
+            {
+                *yv = yv.scale(T::Re::from_f64(0.5 * si)) + xv.scale(T::Re::from_f64(vi));
             }
         }
     }

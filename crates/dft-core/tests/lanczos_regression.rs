@@ -1,0 +1,139 @@
+//! Regression: the swap-based (allocation-free) buffer rotation inside
+//! [`lanczos_bounds`] must be *bit-identical* to the seed's clone-based
+//! rotation — same random start, same apply sequence, same floating-point
+//! operations in the same order, so the returned `(theta_min, upper_bound)`
+//! pair matches exactly, not just to a tolerance.
+
+use dft_core::chebyshev::lanczos_bounds;
+use dft_core::hamiltonian::KsHamiltonian;
+use dft_fem::mesh::Mesh3d;
+use dft_fem::space::FeSpace;
+use dft_linalg::blas1;
+use dft_linalg::eig::eigh;
+use dft_linalg::iterative::LinearOperator;
+use dft_linalg::matrix::Matrix;
+use dft_linalg::scalar::{Real, Scalar, C64};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The seed implementation: identical arithmetic to `lanczos_bounds`, but
+/// each iteration clones `v` into `v_prev` and builds the next `v` from `w`
+/// by copy — the exact pre-optimization data flow.
+fn lanczos_bounds_clone_reference<T: Scalar>(
+    op: &dyn LinearOperator<T>,
+    k: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let n = op.dim();
+    let k = k.min(n).max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = Matrix::<T>::zeros(n, 1);
+    for x in v.col_mut(0) {
+        *x = T::from_f64(rng.gen::<f64>() - 0.5);
+    }
+    let nrm = blas1::nrm2(v.col(0)).to_f64();
+    for x in v.col_mut(0) {
+        *x = x.scale(T::Re::from_f64(1.0 / nrm));
+    }
+    let mut v_prev = Matrix::<T>::zeros(n, 1);
+    let mut alphas = Vec::with_capacity(k);
+    let mut betas = Vec::with_capacity(k);
+    let mut beta = 0.0f64;
+    let mut w = Matrix::<T>::zeros(n, 1);
+    for _ in 0..k {
+        op.apply(&v, &mut w);
+        let alpha = blas1::dot(v.col(0), w.col(0)).re().to_f64();
+        alphas.push(alpha);
+        let ar = T::Re::from_f64(alpha);
+        let br = T::Re::from_f64(beta);
+        {
+            let vc = v.col(0);
+            let pc = v_prev.col(0);
+            for ((wv, &vv), &pv) in w.col_mut(0).iter_mut().zip(vc.iter()).zip(pc.iter()) {
+                *wv = *wv - vv.scale(ar) - pv.scale(br);
+            }
+        }
+        beta = blas1::nrm2(w.col(0)).to_f64();
+        betas.push(beta);
+        if beta < 1e-12 {
+            break;
+        }
+        v_prev = v.clone();
+        v = w.clone();
+        let inv = T::Re::from_f64(1.0 / beta);
+        for x in v.col_mut(0) {
+            *x = x.scale(inv);
+        }
+    }
+    let m = alphas.len();
+    let mut tri = Matrix::<f64>::zeros(m, m);
+    for i in 0..m {
+        tri[(i, i)] = alphas[i];
+        if i + 1 < m {
+            tri[(i, i + 1)] = betas[i];
+            tri[(i + 1, i)] = betas[i];
+        }
+    }
+    let e = eigh(&tri).expect("tridiagonal eigensolve");
+    (e.eigenvalues[0], e.eigenvalues[m - 1] + betas[m - 1].abs())
+}
+
+fn space() -> FeSpace {
+    FeSpace::new(Mesh3d::cube(2, 6.0, 3))
+}
+
+#[test]
+fn swap_rotation_bit_identical_to_clone_reference_real() {
+    let s = space();
+    let v: Vec<f64> = (0..s.nnodes())
+        .map(|n| (s.node_coord(n)[0] * 0.3).sin() - 0.1)
+        .collect();
+    let h = KsHamiltonian::<f64>::new(&s, &v, [1.0; 3]);
+    for (k, seed) in [(6, 0u64), (12, 3), (20, 42)] {
+        let (a, b) = lanczos_bounds(&h, k, seed);
+        let (ar, br) = lanczos_bounds_clone_reference(&h, k, seed);
+        assert_eq!(a.to_bits(), ar.to_bits(), "theta_min differs (k={k})");
+        assert_eq!(b.to_bits(), br.to_bits(), "upper bound differs (k={k})");
+    }
+}
+
+#[test]
+fn swap_rotation_bit_identical_to_clone_reference_complex() {
+    let s = FeSpace::new(Mesh3d::periodic_cube(2, 5.0, 2));
+    let v: Vec<f64> = (0..s.nnodes())
+        .map(|n| (s.node_coord(n)[1] * 0.5).cos())
+        .collect();
+    let phases = [C64::cis(0.4), C64::cis(-0.9), C64::ONE];
+    let h = KsHamiltonian::<C64>::new(&s, &v, phases);
+    let (a, b) = lanczos_bounds(&h, 10, 7);
+    let (ar, br) = lanczos_bounds_clone_reference(&h, 10, 7);
+    assert_eq!(a.to_bits(), ar.to_bits());
+    assert_eq!(b.to_bits(), br.to_bits());
+}
+
+/// Sanity companion: the bounds actually bracket the spectrum of a small
+/// dense Hamiltonian (so the bit-identity above isn't vacuous).
+#[test]
+fn bounds_bracket_dense_spectrum() {
+    let s = space();
+    let v: Vec<f64> = vec![0.5; s.nnodes()];
+    let h = KsHamiltonian::<f64>::new(&s, &v, [1.0; 3]);
+    let n = h.dim();
+    let mut dense = Matrix::<f64>::zeros(n, n);
+    let mut e = Matrix::<f64>::zeros(n, 1);
+    let mut he = Matrix::<f64>::zeros(n, 1);
+    for j in 0..n {
+        e.col_mut(0).fill(0.0);
+        e[(j, 0)] = 1.0;
+        h.apply(&e, &mut he);
+        for i in 0..n {
+            dense[(i, j)] = he[(i, 0)];
+        }
+    }
+    let eig = eigh(&dense).expect("dense eigensolve");
+    let (tmin, ub) = lanczos_bounds(&h, 30, 5);
+    let lo = eig.eigenvalues[0];
+    let hi = eig.eigenvalues[n - 1];
+    assert!(ub >= hi - 1e-8, "upper bound {ub} < lambda_max {hi}");
+    assert!(tmin >= lo - 1e-6, "theta_min {tmin} below lambda_min {lo}");
+}

@@ -50,6 +50,48 @@ pub struct FeSpace {
     mass_diag: Vec<f64>,
     inv_sqrt_mass_dof: Vec<f64>,
     cells: Vec<Cell>,
+    /// Local nodes per cell, `(p+1)^3`.
+    nloc: usize,
+    /// Precomputed per-cell, per-local-node global node index
+    /// (`cells.len() * nloc`, local layout `a + n1*(b + n1*c)`).
+    cell_node: Vec<u32>,
+    /// Precomputed per-cell, per-local-node DoF index, `-1` on eliminated
+    /// Dirichlet boundary nodes.
+    cell_dof: Vec<i32>,
+    /// Precomputed per-cell, per-local-node periodic-wrap bitmask
+    /// (bit 0 = x wrap, bit 1 = y, bit 2 = z) selecting the Bloch phase
+    /// product to apply on gather/scatter.
+    cell_wrap: Vec<u8>,
+}
+
+/// Columns processed together by the blocked stiffness kernel: 8 f64 lanes
+/// is one AVX-512 register per accumulator.
+const COL_BLOCK: usize = 8;
+
+/// The 8 possible products of Bloch phases selected by a wrap bitmask
+/// (identity for mask 0). `conj` gives the scatter-side conjugate table.
+#[inline]
+fn phase_products<T: Scalar>(phases: [T; 3], conj: bool) -> [T; 8] {
+    let p = if conj {
+        [phases[0].conj(), phases[1].conj(), phases[2].conj()]
+    } else {
+        phases
+    };
+    let mut tab = [T::ONE; 8];
+    for (mask, t) in tab.iter_mut().enumerate() {
+        let mut v = T::ONE;
+        if mask & 1 != 0 {
+            v *= p[0];
+        }
+        if mask & 2 != 0 {
+            v *= p[1];
+        }
+        if mask & 4 != 0 {
+            v *= p[2];
+        }
+        *t = v;
+    }
+    tab
 }
 
 impl FeSpace {
@@ -121,9 +163,32 @@ impl FeSpace {
             }
         }
 
+        // Precompute per-cell gather/scatter tables: global node, DoF index
+        // (-1 on Dirichlet) and periodic-wrap bitmask per local node, so the
+        // hot kernels never re-derive the `axis_node` arithmetic.
+        let n1 = p + 1;
+        let nloc = n1 * n1 * n1;
+        let mut cell_node = Vec::with_capacity(cells.len() * nloc);
+        let mut cell_dof = Vec::with_capacity(cells.len() * nloc);
+        let mut cell_wrap = Vec::with_capacity(cells.len() * nloc);
+        for cell in &cells {
+            for c in 0..n1 {
+                let (gz, wz) = Self::axis_node(cell.c[2], c, p, n_axis[2], periodic[2]);
+                for b in 0..n1 {
+                    let (gy, wy) = Self::axis_node(cell.c[1], b, p, n_axis[1], periodic[1]);
+                    for a in 0..n1 {
+                        let (gx, wx) = Self::axis_node(cell.c[0], a, p, n_axis[0], periodic[0]);
+                        let node = gx + n_axis[0] * (gy + n_axis[1] * gz);
+                        cell_node.push(node as u32);
+                        cell_dof.push(dof_of_node[node] as i32);
+                        cell_wrap.push(u8::from(wx) | (u8::from(wy) << 1) | (u8::from(wz) << 2));
+                    }
+                }
+            }
+        }
+
         // Diagonal GLL mass matrix over all nodes.
         let mut mass_diag = vec![0.0; nnodes];
-        let n1 = p + 1;
         for cell in &cells {
             let jac = cell.h[0] * cell.h[1] * cell.h[2] / 8.0;
             for c in 0..n1 {
@@ -156,7 +221,19 @@ impl FeSpace {
             mass_diag,
             inv_sqrt_mass_dof,
             cells,
+            nloc,
+            cell_node,
+            cell_dof,
+            cell_wrap,
         }
+    }
+
+    /// Index of a cell in [`Self::cells`] (cells are stored x-fastest).
+    #[inline]
+    fn cell_index(&self, cell: &Cell) -> usize {
+        let ncx = self.mesh.axes[0].ncells();
+        let ncy = self.mesh.axes[1].ncells();
+        cell.c[0] + ncx * (cell.c[1] + ncy * cell.c[2])
     }
 
     #[inline]
@@ -258,7 +335,8 @@ impl FeSpace {
 
     /// Gather the local values of one cell from a *full nodal* vector,
     /// applying Bloch `phases` on periodic wraps. Local index layout is
-    /// `a + n1*(b + n1*c)`.
+    /// `a + n1*(b + n1*c)`. Table-driven: one indexed load plus a masked
+    /// phase multiply per local node.
     pub fn gather_cell_nodes<T: Scalar>(
         &self,
         cell: &Cell,
@@ -266,37 +344,78 @@ impl FeSpace {
         phases: [T; 3],
         out: &mut [T],
     ) {
-        let p = self.mesh.degree;
-        let n1 = p + 1;
-        debug_assert_eq!(out.len(), n1 * n1 * n1);
-        let mut idx = 0;
-        for c in 0..n1 {
-            let (gz, wz) = Self::axis_node(cell.c[2], c, p, self.n_axis[2], self.periodic[2]);
-            for b in 0..n1 {
-                let (gy, wy) = Self::axis_node(cell.c[1], b, p, self.n_axis[1], self.periodic[1]);
-                for a in 0..n1 {
-                    let (gx, wx) =
-                        Self::axis_node(cell.c[0], a, p, self.n_axis[0], self.periodic[0]);
-                    let n = gx + self.n_axis[0] * (gy + self.n_axis[1] * gz);
-                    let mut v = x_nodes[n];
-                    if wx {
-                        v *= phases[0];
-                    }
-                    if wy {
-                        v *= phases[1];
-                    }
-                    if wz {
-                        v *= phases[2];
-                    }
-                    out[idx] = v;
-                    idx += 1;
-                }
+        let nloc = self.nloc;
+        debug_assert_eq!(out.len(), nloc);
+        let ci = self.cell_index(cell);
+        let nodes = &self.cell_node[ci * nloc..(ci + 1) * nloc];
+        let wraps = &self.cell_wrap[ci * nloc..(ci + 1) * nloc];
+        let tab = phase_products(phases, false);
+        for l in 0..nloc {
+            let mut v = x_nodes[nodes[l] as usize];
+            let w = wraps[l];
+            if w != 0 {
+                v *= tab[w as usize];
             }
+            out[l] = v;
         }
     }
 
     /// Gather cell values from a *DoF* vector (Dirichlet nodes read as 0).
     pub fn gather_cell_dofs<T: Scalar>(
+        &self,
+        cell: &Cell,
+        x_dofs: &[T],
+        phases: [T; 3],
+        out: &mut [T],
+    ) {
+        let nloc = self.nloc;
+        let ci = self.cell_index(cell);
+        let dofs = &self.cell_dof[ci * nloc..(ci + 1) * nloc];
+        let wraps = &self.cell_wrap[ci * nloc..(ci + 1) * nloc];
+        let tab = phase_products(phases, false);
+        for l in 0..nloc {
+            let d = dofs[l];
+            let mut v = if d >= 0 { x_dofs[d as usize] } else { T::ZERO };
+            let w = wraps[l];
+            if w != 0 {
+                v *= tab[w as usize];
+            }
+            out[l] = v;
+        }
+    }
+
+    /// Scatter-add local cell values into a DoF vector, conjugating the
+    /// Bloch phases (the adjoint of [`Self::gather_cell_dofs`]).
+    pub fn scatter_add_cell_dofs<T: Scalar>(
+        &self,
+        cell: &Cell,
+        local: &[T],
+        phases: [T; 3],
+        y_dofs: &mut [T],
+    ) {
+        let nloc = self.nloc;
+        let ci = self.cell_index(cell);
+        let dofs = &self.cell_dof[ci * nloc..(ci + 1) * nloc];
+        let wraps = &self.cell_wrap[ci * nloc..(ci + 1) * nloc];
+        let tab = phase_products(phases, true);
+        for l in 0..nloc {
+            let d = dofs[l];
+            if d >= 0 {
+                let mut v = local[l];
+                let w = wraps[l];
+                if w != 0 {
+                    v *= tab[w as usize];
+                }
+                y_dofs[d as usize] += v;
+            }
+        }
+    }
+
+    /// Seed-era gather that re-derives the `axis_node` arithmetic per call —
+    /// retained (with [`Self::scatter_add_cell_dofs_ref`]) as the
+    /// correctness oracle for the precomputed tables and as the benchmark
+    /// baseline of [`Self::apply_stiffness_reference`].
+    fn gather_cell_dofs_ref<T: Scalar>(
         &self,
         cell: &Cell,
         x_dofs: &[T],
@@ -332,9 +451,8 @@ impl FeSpace {
         }
     }
 
-    /// Scatter-add local cell values into a DoF vector, conjugating the
-    /// Bloch phases (the adjoint of [`Self::gather_cell_dofs`]).
-    pub fn scatter_add_cell_dofs<T: Scalar>(
+    /// Seed-era scatter counterpart of [`Self::gather_cell_dofs_ref`].
+    fn scatter_add_cell_dofs_ref<T: Scalar>(
         &self,
         cell: &Cell,
         local: &[T],
@@ -440,12 +558,254 @@ impl FeSpace {
     /// `Y = K X` on DoF vectors (columns of `x`), with Bloch `phases` on
     /// periodic wraps. `K` is the assembled FE stiffness (grad-grad) matrix;
     /// the Laplacian operator in the Hamiltonian is `-1/2 K` in the
-    /// mass-orthonormalized basis. Parallel over columns.
+    /// mass-orthonormalized basis.
+    ///
+    /// Runs the table-driven blocked kernel: columns are processed
+    /// [`COL_BLOCK`] at a time through an interleaved-lane local buffer so
+    /// the sum-factorized sweeps vectorize across columns, and gather /
+    /// scatter walk the precomputed DoF + wrap-mask tables.
     pub fn apply_stiffness<T: Scalar>(&self, x: &Matrix<T>, y: &mut Matrix<T>, phases: [T; 3]) {
+        self.apply_stiffness_impl(x, y, phases, None);
+    }
+
+    /// `Y = K diag(s) X` for a real per-DoF scale `s`, fused into the cell
+    /// gather. This is the Hamiltonian's Löwdin `M^{-1/2}` input scaling —
+    /// fusing it removes a full copy of the wavefunction block per apply.
+    pub fn apply_stiffness_scaled<T: Scalar>(
+        &self,
+        x: &Matrix<T>,
+        y: &mut Matrix<T>,
+        phases: [T; 3],
+        row_scale: &[f64],
+    ) {
+        assert_eq!(row_scale.len(), self.ndofs);
+        self.apply_stiffness_impl(x, y, phases, Some(row_scale));
+    }
+
+    fn apply_stiffness_impl<T: Scalar>(
+        &self,
+        x: &Matrix<T>,
+        y: &mut Matrix<T>,
+        phases: [T; 3],
+        row_scale: Option<&[f64]>,
+    ) {
         assert_eq!(x.nrows(), self.ndofs);
         assert_eq!(y.shape(), x.shape());
+        let nd = self.ndofs;
+        let nloc = self.nloc;
+        let x_data = x.as_slice();
+        let tab = phase_products(phases, false);
+        let tabc = phase_products(phases, true);
+        y.as_mut_slice()
+            .par_chunks_mut(nd * COL_BLOCK)
+            .enumerate()
+            .for_each(|(jb, yblk)| {
+                yblk.fill(T::ZERO);
+                let j0 = jb * COL_BLOCK;
+                let cb = yblk.len() / nd;
+                let xblk = &x_data[j0 * nd..(j0 + cb) * nd];
+                dft_linalg::pack::with_scratch::<T, _>(|loc, out| {
+                    let need = nloc * COL_BLOCK;
+                    if loc.len() < need {
+                        loc.resize(need, T::ZERO);
+                    }
+                    if out.len() < need {
+                        out.resize(need, T::ZERO);
+                    }
+                    let loc = &mut loc[..need];
+                    let out = &mut out[..need];
+                    for ci in 0..self.cells.len() {
+                        self.gather_block(ci, xblk, nd, cb, &tab, row_scale, loc);
+                        out.fill(T::ZERO);
+                        self.cell_stiffness_apply_block(self.cells[ci].h, loc, out);
+                        self.scatter_block(ci, out, &tabc, yblk, nd, cb);
+                    }
+                });
+            });
+    }
+
+    /// Gather [`COL_BLOCK`] interleaved column lanes of one cell
+    /// (`loc[l*COL_BLOCK + t]` is local node `l`, block column `t`),
+    /// optionally fusing a per-DoF real scale; unused lanes are zeroed.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_block<T: Scalar>(
+        &self,
+        ci: usize,
+        xblk: &[T],
+        nd: usize,
+        cb: usize,
+        tab: &[T; 8],
+        row_scale: Option<&[f64]>,
+        loc: &mut [T],
+    ) {
+        const CB: usize = COL_BLOCK;
+        let nloc = self.nloc;
+        let dofs = &self.cell_dof[ci * nloc..(ci + 1) * nloc];
+        let wraps = &self.cell_wrap[ci * nloc..(ci + 1) * nloc];
+        for l in 0..nloc {
+            let dst = &mut loc[l * CB..(l + 1) * CB];
+            let d = dofs[l];
+            if d < 0 {
+                dst.fill(T::ZERO);
+                continue;
+            }
+            let du = d as usize;
+            match row_scale {
+                None => {
+                    for t in 0..cb {
+                        dst[t] = xblk[t * nd + du];
+                    }
+                }
+                Some(s) => {
+                    let sc = <T::Re as Real>::from_f64(s[du]);
+                    for t in 0..cb {
+                        dst[t] = xblk[t * nd + du].scale(sc);
+                    }
+                }
+            }
+            let w = wraps[l] as usize;
+            if w != 0 {
+                let ph = tab[w];
+                for t in 0..cb {
+                    dst[t] *= ph;
+                }
+            }
+            for t in cb..CB {
+                dst[t] = T::ZERO;
+            }
+        }
+    }
+
+    /// Scatter-add the interleaved column lanes back to the DoF block,
+    /// conjugate phases on wraps (adjoint of [`Self::gather_block`]).
+    fn scatter_block<T: Scalar>(
+        &self,
+        ci: usize,
+        out: &[T],
+        tabc: &[T; 8],
+        yblk: &mut [T],
+        nd: usize,
+        cb: usize,
+    ) {
+        const CB: usize = COL_BLOCK;
+        let nloc = self.nloc;
+        let dofs = &self.cell_dof[ci * nloc..(ci + 1) * nloc];
+        let wraps = &self.cell_wrap[ci * nloc..(ci + 1) * nloc];
+        for l in 0..nloc {
+            let d = dofs[l];
+            if d < 0 {
+                continue;
+            }
+            let du = d as usize;
+            let src = &out[l * CB..(l + 1) * CB];
+            let w = wraps[l] as usize;
+            if w == 0 {
+                for t in 0..cb {
+                    yblk[t * nd + du] += src[t];
+                }
+            } else {
+                let ph = tabc[w];
+                for t in 0..cb {
+                    yblk[t * nd + du] += src[t] * ph;
+                }
+            }
+        }
+    }
+
+    /// Sum-factorized stiffness on [`COL_BLOCK`] interleaved column lanes:
+    /// the same three directional sweeps as [`Self::cell_stiffness_apply`],
+    /// with each accumulator widened to a fixed lane array so the compiler
+    /// vectorizes across block columns. Per lane the arithmetic (order and
+    /// all) is identical to the single-column kernel.
+    fn cell_stiffness_apply_block<T: Scalar>(&self, h: [f64; 3], x_loc: &[T], y_loc: &mut [T]) {
+        const CB: usize = COL_BLOCK;
         let n1 = self.mesh.degree + 1;
-        let nloc = n1 * n1 * n1;
+        let b = &self.basis;
+        let sx = h[1] * h[2] / (2.0 * h[0]);
+        let sy = h[0] * h[2] / (2.0 * h[1]);
+        let sz = h[0] * h[1] / (2.0 * h[2]);
+        let lane = |buf: &[T], l: usize| -> [T; CB] {
+            buf[l * CB..(l + 1) * CB].try_into().expect("lane width")
+        };
+        // x-direction: contiguous local stride 1
+        for c in 0..n1 {
+            for bb in 0..n1 {
+                let base = n1 * (bb + n1 * c);
+                let scale = T::Re::from_f64(sx * b.weights[bb] * b.weights[c]);
+                for i in 0..n1 {
+                    let mut acc = [T::ZERO; CB];
+                    for j in 0..n1 {
+                        let kij = T::Re::from_f64(b.k(i, j));
+                        let xv = lane(x_loc, base + j);
+                        for t in 0..CB {
+                            acc[t] += xv[t].scale(kij);
+                        }
+                    }
+                    let yv = &mut y_loc[(base + i) * CB..(base + i + 1) * CB];
+                    for t in 0..CB {
+                        yv[t] += acc[t].scale(scale);
+                    }
+                }
+            }
+        }
+        // y-direction: local stride n1
+        for c in 0..n1 {
+            for a in 0..n1 {
+                let base = a + n1 * n1 * c;
+                let scale = T::Re::from_f64(sy * b.weights[a] * b.weights[c]);
+                for i in 0..n1 {
+                    let mut acc = [T::ZERO; CB];
+                    for j in 0..n1 {
+                        let kij = T::Re::from_f64(b.k(i, j));
+                        let xv = lane(x_loc, base + j * n1);
+                        for t in 0..CB {
+                            acc[t] += xv[t].scale(kij);
+                        }
+                    }
+                    let yv = &mut y_loc[(base + i * n1) * CB..(base + i * n1) * CB + CB];
+                    for t in 0..CB {
+                        yv[t] += acc[t].scale(scale);
+                    }
+                }
+            }
+        }
+        // z-direction: local stride n1*n1
+        let n2 = n1 * n1;
+        for bb in 0..n1 {
+            for a in 0..n1 {
+                let base = a + n1 * bb;
+                let scale = T::Re::from_f64(sz * b.weights[a] * b.weights[bb]);
+                for i in 0..n1 {
+                    let mut acc = [T::ZERO; CB];
+                    for j in 0..n1 {
+                        let kij = T::Re::from_f64(b.k(i, j));
+                        let xv = lane(x_loc, base + j * n2);
+                        for t in 0..CB {
+                            acc[t] += xv[t].scale(kij);
+                        }
+                    }
+                    let yv = &mut y_loc[(base + i * n2) * CB..(base + i * n2) * CB + CB];
+                    for t in 0..CB {
+                        yv[t] += acc[t].scale(scale);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The seed per-column stiffness apply (per-call `axis_node`
+    /// re-derivation, per-column scratch allocation) — retained as the
+    /// golden-value oracle for [`Self::apply_stiffness`] and as the "before"
+    /// baseline of the kernel benchmarks.
+    pub fn apply_stiffness_reference<T: Scalar>(
+        &self,
+        x: &Matrix<T>,
+        y: &mut Matrix<T>,
+        phases: [T; 3],
+    ) {
+        assert_eq!(x.nrows(), self.ndofs);
+        assert_eq!(y.shape(), x.shape());
+        let nloc = self.nloc;
         let nd = self.ndofs;
         let x_data = x.as_slice();
         y.as_mut_slice()
@@ -457,10 +817,10 @@ impl FeSpace {
                 let mut loc = vec![T::ZERO; nloc];
                 let mut out = vec![T::ZERO; nloc];
                 for cell in &self.cells {
-                    self.gather_cell_dofs(cell, xcol, phases, &mut loc);
+                    self.gather_cell_dofs_ref(cell, xcol, phases, &mut loc);
                     out.fill(T::ZERO);
                     self.cell_stiffness_apply(cell.h, &loc, &mut out);
-                    self.scatter_add_cell_dofs(cell, &out, phases, ycol);
+                    self.scatter_add_cell_dofs_ref(cell, &out, phases, ycol);
                 }
             });
     }
@@ -472,31 +832,18 @@ impl FeSpace {
         assert_eq!(x_nodes.len(), self.nnodes);
         assert_eq!(y_nodes.len(), self.nnodes);
         y_nodes.fill(0.0);
-        let n1 = self.mesh.degree + 1;
-        let nloc = n1 * n1 * n1;
-        let one = [1.0f64; 3];
+        let nloc = self.nloc;
         let mut loc = vec![0.0; nloc];
         let mut out = vec![0.0; nloc];
-        let p = self.mesh.degree;
-        for cell in &self.cells {
-            self.gather_cell_nodes(cell, x_nodes, one, &mut loc);
+        for (ci, cell) in self.cells.iter().enumerate() {
+            let nodes = &self.cell_node[ci * nloc..(ci + 1) * nloc];
+            for l in 0..nloc {
+                loc[l] = x_nodes[nodes[l] as usize];
+            }
             out.fill(0.0);
             self.cell_stiffness_apply(cell.h, &loc, &mut out);
-            // scatter to all nodes
-            let mut idx = 0;
-            for c in 0..n1 {
-                let (gz, _) = Self::axis_node(cell.c[2], c, p, self.n_axis[2], self.periodic[2]);
-                for b in 0..n1 {
-                    let (gy, _) =
-                        Self::axis_node(cell.c[1], b, p, self.n_axis[1], self.periodic[1]);
-                    for a in 0..n1 {
-                        let (gx, _) =
-                            Self::axis_node(cell.c[0], a, p, self.n_axis[0], self.periodic[0]);
-                        let n = gx + self.n_axis[0] * (gy + self.n_axis[1] * gz);
-                        y_nodes[n] += out[idx];
-                        idx += 1;
-                    }
-                }
+            for l in 0..nloc {
+                y_nodes[nodes[l] as usize] += out[l];
             }
         }
     }

@@ -266,6 +266,19 @@ pub struct PhaseRecord {
     pub calls: u64,
 }
 
+impl PhaseRecord {
+    /// Sustained GFLOP/s of this phase: `flops / seconds / 1e9`.
+    /// `None` for wall-time-only phases (no attributed FLOPs) or
+    /// zero-duration records, where a rate is meaningless.
+    pub fn gflops(&self) -> Option<f64> {
+        if self.flops > 0 && self.seconds > 0.0 {
+            Some(self.flops as f64 / self.seconds / 1e9)
+        } else {
+            None
+        }
+    }
+}
+
 /// Per-phase measurements of one SCF iteration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct IterationProfile {
@@ -316,6 +329,25 @@ impl ScfProfile {
             .iter()
             .find(|r| r.phase == label)
             .map_or(0, |r| r.flops)
+    }
+
+    /// Sustained cumulative GFLOP/s of the phase labeled `label`
+    /// (`None` if the phase is absent or wall-time-only).
+    pub fn phase_gflops(&self, label: &str) -> Option<f64> {
+        self.cumulative
+            .iter()
+            .find(|r| r.phase == label)
+            .and_then(PhaseRecord::gflops)
+    }
+
+    /// `(label, gflops)` for every cumulative phase that carries FLOPs,
+    /// Table-3 order — the measured counterpart of the paper's sustained
+    /// per-step performance column.
+    pub fn gflops_breakdown(&self) -> Vec<(String, f64)> {
+        self.cumulative
+            .iter()
+            .filter_map(|r| r.gflops().map(|g| (r.phase.clone(), g)))
+            .collect()
     }
 
     /// Sum of all phase wall times (should approach `total_seconds` when

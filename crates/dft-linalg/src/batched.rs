@@ -8,6 +8,7 @@
 //! call. Here the batch is parallelised with rayon (standing in for the
 //! GPU's fine-grained parallelism).
 
+use crate::pack::{gemm_block, with_pack_buf};
 use crate::scalar::Scalar;
 use rayon::prelude::*;
 
@@ -53,8 +54,59 @@ impl BatchLayout {
 /// `C_i = alpha * A_i * B_i + beta * C_i` for every batch member `i`.
 ///
 /// All matrices are column-major within their stride windows. Parallel over
-/// the batch dimension.
+/// the batch dimension. Each member runs on the same packed-panel
+/// microkernel as [`crate::gemm::gemm`] — the FE cell shape
+/// (`m = k = (p+1)^3`) takes its dedicated single-block fast path, and the
+/// two entry points share one semantics (the seed `gemm` skipped
+/// exact-zero `alpha * b` weights while `batched_gemm` did not; the packed
+/// engine treats zeros uniformly in both).
 pub fn batched_gemm<T: Scalar>(
+    layout: BatchLayout,
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    beta: T,
+    c: &mut [T],
+) {
+    let BatchLayout {
+        m,
+        n,
+        k,
+        batch,
+        stride_a,
+        stride_b,
+        stride_c,
+    } = layout;
+    assert!(a.len() >= batch.saturating_sub(1) * stride_a + m * k || batch == 0);
+    assert!(b.len() >= batch.saturating_sub(1) * stride_b + k * n || batch == 0);
+    assert!(c.len() >= batch * stride_c || batch == 0);
+    if batch == 0 {
+        return;
+    }
+
+    c.par_chunks_mut(stride_c)
+        .take(batch)
+        .enumerate()
+        .for_each(|(i, ci)| {
+            let ai = &a[i * stride_a..i * stride_a + m * k];
+            let bi = &b[i * stride_b..i * stride_b + k * n];
+            let cm = &mut ci[..m * n];
+            if beta == T::ZERO {
+                cm.fill(T::ZERO);
+            } else if beta != T::ONE {
+                for v in cm.iter_mut() {
+                    *v *= beta;
+                }
+            }
+            with_pack_buf(|buf| {
+                gemm_block(m, n, k, alpha, ai, m, false, bi, k, false, cm, m, buf);
+            });
+        });
+}
+
+/// The seed per-member axpy batched GEMM, kept as the correctness reference
+/// and benchmark baseline (see [`crate::gemm::gemm_reference`]).
+pub fn batched_gemm_reference<T: Scalar>(
     layout: BatchLayout,
     alpha: T,
     a: &[T],

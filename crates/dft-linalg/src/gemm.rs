@@ -1,12 +1,15 @@
 //! General matrix-matrix multiplication, including the mixed-precision
 //! variants of the paper's Sec. 5.4.2.
 //!
-//! The implementation is a rayon-parallel, column-blocked, axpy/dot kernel.
-//! It is not meant to rival vendor BLAS; it is meant to be a correct,
-//! reasonably fast (multi-GFLOPS) substrate so the miniature DFT runs and
-//! the criterion kernels behave like the real code path.
+//! [`gemm`] drives the cache-blocked, register-tiled microkernel engine of
+//! [`crate::pack`] (packed operand panels, `MC/KC/NC` blocking, `MR x NR`
+//! register tile) for all four `Op` combinations. The seed column-axpy/dot
+//! kernel is retained as [`gemm_reference`] — it is the correctness oracle
+//! for the property tests and the "before" baseline of the kernel
+//! benchmarks.
 
 use crate::matrix::Matrix;
+use crate::pack::{gemm_block, with_pack_buf, NC};
 use crate::scalar::Scalar;
 use rayon::prelude::*;
 
@@ -23,8 +26,85 @@ pub enum Op {
 /// `C = alpha * op(A) * op(B) + beta * C`.
 ///
 /// Shapes are checked; `op(A)` is `m x k`, `op(B)` is `k x n`, `C` is `m x n`.
-/// Parallelises over columns of `C`.
+/// Runs on the packed-panel microkernel engine, parallel over `NC`-wide
+/// column slabs of `C`.
 pub fn gemm<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    opa: Op,
+    b: &Matrix<T>,
+    opb: Op,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let (m, n) = c.shape();
+    let (am, ak) = match opa {
+        Op::None => a.shape(),
+        Op::ConjTrans => (a.ncols(), a.nrows()),
+    };
+    let (bk, bn) = match opb {
+        Op::None => b.shape(),
+        Op::ConjTrans => (b.ncols(), b.nrows()),
+    };
+    assert_eq!(am, m, "gemm: row mismatch");
+    assert_eq!(bn, n, "gemm: col mismatch");
+    assert_eq!(ak, bk, "gemm: inner-dimension mismatch");
+    let k = ak;
+
+    // beta pass over all of C first, so the blocked accumulation below is a
+    // pure `C += ...` regardless of how k is sliced into KC slabs.
+    {
+        let cs = c.as_mut_slice();
+        if beta == T::ZERO {
+            cs.fill(T::ZERO);
+        } else if beta != T::ONE {
+            for v in cs.iter_mut() {
+                *v *= beta;
+            }
+        }
+    }
+    if m == 0 || n == 0 || k == 0 || alpha == T::ZERO {
+        return;
+    }
+
+    let lda = a.nrows();
+    let ldb = b.nrows();
+    let a_trans = opa == Op::ConjTrans;
+    let b_trans = opb == Op::ConjTrans;
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(m * NC)
+        .enumerate()
+        .for_each(|(slab, cblk)| {
+            let jc = slab * NC;
+            let ncb = cblk.len() / m;
+            // Shift B so column jc of op(B) becomes column 0 of the slab.
+            let boff = if b_trans { jc } else { jc * ldb };
+            with_pack_buf(|buf| {
+                gemm_block(
+                    m,
+                    ncb,
+                    k,
+                    alpha,
+                    a_data,
+                    lda,
+                    a_trans,
+                    &b_data[boff..],
+                    ldb,
+                    b_trans,
+                    cblk,
+                    m,
+                    buf,
+                );
+            });
+        });
+}
+
+/// The seed unblocked column-axpy/dot GEMM, kept verbatim as the
+/// correctness reference for the blocked engine and as the "before"
+/// baseline of the kernel benchmarks. Semantics are identical to [`gemm`].
+pub fn gemm_reference<T: Scalar>(
     alpha: T,
     a: &Matrix<T>,
     opa: Op,

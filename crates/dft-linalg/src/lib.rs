@@ -33,14 +33,16 @@ pub mod gemm;
 pub mod iterative;
 pub mod lowdin;
 pub mod matrix;
+pub mod pack;
 pub mod scalar;
 
-pub use batched::{batched_gemm, BatchLayout};
+pub use batched::{batched_gemm, batched_gemm_reference, BatchLayout};
 pub use blas1::{axpy, dot, nrm2, scal};
 pub use chol::{cholesky, cholesky_inverse, tri_inv_lower};
 pub use eig::{eigh, Eigh};
-pub use gemm::{gemm, gemm_mixed, Op};
+pub use gemm::{gemm, gemm_mixed, gemm_reference, Op};
 pub use iterative::{block_minres, cg, minres, IterStats, LinearOperator, Preconditioner};
 pub use lowdin::lowdin_orthonormalize;
 pub use matrix::Matrix;
+pub use pack::{with_pack_buf, with_scratch, PackBuf};
 pub use scalar::{Real, Scalar, C32, C64};

@@ -130,6 +130,17 @@ impl<T: Scalar> Matrix<T> {
         )
     }
 
+    /// Overwrite all of `self` with the column range `[j0, j0 + ncols)` of
+    /// `src` — the allocation-free inverse of [`Self::set_cols`] for a
+    /// reused block buffer.
+    pub fn copy_cols_from(&mut self, src: &Matrix<T>, j0: usize) {
+        assert_eq!(self.nrows, src.nrows);
+        assert!(j0 + self.ncols <= src.ncols);
+        let n = self.nrows;
+        self.data
+            .copy_from_slice(&src.data[j0 * n..(j0 + self.ncols) * n]);
+    }
+
     /// Overwrite the contiguous column range starting at `j0` with `block`.
     pub fn set_cols(&mut self, j0: usize, block: &Matrix<T>) {
         assert_eq!(self.nrows, block.nrows);

@@ -10,6 +10,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run"
+cargo bench --offline --workspace --no-run
+
 echo "==> cargo build --release"
 cargo build --offline --release --workspace
 
