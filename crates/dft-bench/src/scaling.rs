@@ -1,0 +1,291 @@
+//! Schema and validation of `BENCH_scaling.json`, the artifact emitted by
+//! the `bench_scaling` binary: distributed SCF strong scaling at 1/2/4/8
+//! ranks (wall time per ChFES phase, speedup, communication volume per wire
+//! precision) plus the FP32-wire accuracy/volume comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// ChFES phase labels expected in every per-rank-count run, Table-3 order.
+pub const CHFES_PHASES: [&str; 7] = [
+    "CF",
+    "CholGS-S",
+    "CholGS-CI",
+    "CholGS-O",
+    "RR-P",
+    "RR-D",
+    "RR-SR",
+];
+
+/// Wire-byte counters (cluster totals from the shared `CommStats`).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CommBytes {
+    /// Total payload bytes that crossed the wire.
+    pub bytes_total: u64,
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Bytes sent at FP64 wire precision.
+    pub bytes_fp64: u64,
+    /// Bytes sent at FP32 wire precision.
+    pub bytes_fp32: u64,
+}
+
+/// Wall seconds of one profiled phase (max over the ranks of the run — the
+/// critical path).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PhaseSeconds {
+    /// Table-3 phase label.
+    pub phase: String,
+    /// Wall seconds, max across ranks.
+    pub seconds: f64,
+}
+
+/// One strong-scaling point: the full distributed SCF at a rank count.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RankRun {
+    /// Ranks in the run.
+    pub nranks: usize,
+    /// End-to-end wall seconds of the SCF (cluster spawn included).
+    pub wall_seconds: f64,
+    /// `wall_seconds(1 rank) / wall_seconds(this run)`.
+    pub speedup_vs_1rank: f64,
+    /// Converged free energy (Ha) — must agree across rank counts.
+    pub free_energy_ha: f64,
+    /// SCF iterations performed.
+    pub iterations: usize,
+    /// Whether the density residual met the tolerance.
+    pub converged: bool,
+    /// Per-ChFES-phase wall seconds (critical path over ranks).
+    pub chfes_phase_seconds: Vec<PhaseSeconds>,
+    /// Cluster communication volume of the run.
+    pub comm: CommBytes,
+}
+
+/// FP64 vs FP32 boundary-wire comparison at a fixed rank count.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireComparison {
+    /// Ranks used for the comparison.
+    pub nranks: usize,
+    /// Free energy of the all-FP64 run (Ha).
+    pub free_energy_fp64_ha: f64,
+    /// Free energy with FP32 Chebyshev-filter boundary wire (Ha).
+    pub free_energy_fp32_wire_ha: f64,
+    /// `|fp64 - fp32 wire|` (Ha).
+    pub abs_energy_diff_ha: f64,
+    /// Communication volume of the FP64 SCF run.
+    pub scf_comm_fp64: CommBytes,
+    /// Communication volume of the FP32-wire SCF run.
+    pub scf_comm_fp32: CommBytes,
+    /// Ghost-exchange bytes of ONE Hamiltonian apply at FP64 wire.
+    pub ghost_apply_bytes_fp64: u64,
+    /// Ghost-exchange bytes of the same apply at FP32 wire (exactly half).
+    pub ghost_apply_bytes_fp32: u64,
+}
+
+/// Size card of the benchmark system.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SystemCard {
+    /// Human-readable description.
+    pub description: String,
+    /// FE degrees of freedom.
+    pub ndofs: usize,
+    /// FE nodes.
+    pub nnodes: usize,
+    /// FE cells (upper bound on usable ranks).
+    pub ncells: usize,
+    /// Kohn-Sham states.
+    pub n_states: usize,
+    /// Electrons.
+    pub n_electrons: f64,
+}
+
+/// The full `BENCH_scaling.json` document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScalingReport {
+    /// Provenance note.
+    pub note: String,
+    /// The benchmark system.
+    pub system: SystemCard,
+    /// One entry per rank count, ascending, starting at 1.
+    pub runs: Vec<RankRun>,
+    /// The FP32-wire comparison.
+    pub wire: WireComparison,
+}
+
+impl ScalingReport {
+    /// Schema + invariant check. `Err` carries the first violation; used
+    /// both by the emitting binary (before writing) and by CI's `--check`
+    /// against the committed artifact.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.runs.is_empty() {
+            return Err("no runs".into());
+        }
+        if self.runs[0].nranks != 1 {
+            return Err("first run must be the 1-rank baseline".into());
+        }
+        let e0 = self.runs[0].free_energy_ha;
+        for (i, run) in self.runs.iter().enumerate() {
+            if i > 0 && run.nranks <= self.runs[i - 1].nranks {
+                return Err(format!("rank counts not ascending at entry {i}"));
+            }
+            if !run.converged {
+                return Err(format!("{}-rank run did not converge", run.nranks));
+            }
+            if !(run.wall_seconds.is_finite() && run.wall_seconds > 0.0) {
+                return Err(format!("{}-rank wall time invalid", run.nranks));
+            }
+            if !(run.speedup_vs_1rank.is_finite() && run.speedup_vs_1rank > 0.0) {
+                return Err(format!("{}-rank speedup invalid", run.nranks));
+            }
+            let labels: Vec<&str> = run
+                .chfes_phase_seconds
+                .iter()
+                .map(|p| p.phase.as_str())
+                .collect();
+            if labels != CHFES_PHASES {
+                return Err(format!(
+                    "{}-rank run: ChFES phases {labels:?} != {CHFES_PHASES:?}",
+                    run.nranks
+                ));
+            }
+            if run
+                .chfes_phase_seconds
+                .iter()
+                .any(|p| !p.seconds.is_finite() || p.seconds < 0.0)
+            {
+                return Err(format!("{}-rank run: invalid phase seconds", run.nranks));
+            }
+            if (run.free_energy_ha - e0).abs() > 1e-8 {
+                return Err(format!(
+                    "{}-rank energy {} drifts from 1-rank {} by > 1e-8 Ha",
+                    run.nranks, run.free_energy_ha, e0
+                ));
+            }
+            if run.nranks == 1 && run.comm.bytes_total != 0 {
+                return Err("1-rank run must move no bytes".into());
+            }
+            if run.nranks > 1 && run.comm.bytes_total == 0 {
+                return Err(format!("{}-rank run moved no bytes", run.nranks));
+            }
+        }
+        let w = &self.wire;
+        if w.abs_energy_diff_ha > 1e-8 {
+            return Err(format!(
+                "FP32-wire energy differs by {} Ha (> 1e-8)",
+                w.abs_energy_diff_ha
+            ));
+        }
+        if w.scf_comm_fp64.bytes_fp32 != 0 {
+            return Err("FP64 run must move no FP32 bytes".into());
+        }
+        if w.scf_comm_fp32.bytes_fp32 == 0 {
+            return Err("FP32-wire run moved no FP32 bytes".into());
+        }
+        if w.ghost_apply_bytes_fp32 * 2 != w.ghost_apply_bytes_fp64 {
+            return Err(format!(
+                "FP32 ghost exchange is not exactly half of FP64: {} vs {}",
+                w.ghost_apply_bytes_fp32, w.ghost_apply_bytes_fp64
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phases() -> Vec<PhaseSeconds> {
+        CHFES_PHASES
+            .iter()
+            .map(|&p| PhaseSeconds {
+                phase: p.to_string(),
+                seconds: 0.01,
+            })
+            .collect()
+    }
+
+    fn good_report() -> ScalingReport {
+        let run = |nranks: usize, bytes: u64| RankRun {
+            nranks,
+            wall_seconds: 1.0 / nranks as f64,
+            speedup_vs_1rank: nranks as f64,
+            free_energy_ha: -1.25,
+            iterations: 10,
+            converged: true,
+            chfes_phase_seconds: phases(),
+            comm: CommBytes {
+                bytes_total: bytes,
+                messages: bytes / 8,
+                bytes_fp64: bytes,
+                bytes_fp32: 0,
+            },
+        };
+        ScalingReport {
+            note: "test".into(),
+            system: SystemCard {
+                description: "test".into(),
+                ndofs: 216,
+                nnodes: 216,
+                ncells: 8,
+                n_states: 4,
+                n_electrons: 2.0,
+            },
+            runs: vec![run(1, 0), run(2, 1024), run(4, 2048)],
+            wire: WireComparison {
+                nranks: 4,
+                free_energy_fp64_ha: -1.25,
+                free_energy_fp32_wire_ha: -1.25 + 1e-10,
+                abs_energy_diff_ha: 1e-10,
+                scf_comm_fp64: CommBytes {
+                    bytes_total: 2048,
+                    messages: 256,
+                    bytes_fp64: 2048,
+                    bytes_fp32: 0,
+                },
+                scf_comm_fp32: CommBytes {
+                    bytes_total: 1536,
+                    messages: 256,
+                    bytes_fp64: 1024,
+                    bytes_fp32: 512,
+                },
+                ghost_apply_bytes_fp64: 800,
+                ghost_apply_bytes_fp32: 400,
+            },
+        }
+    }
+
+    #[test]
+    fn good_report_validates_and_round_trips() {
+        let r = good_report();
+        r.validate().unwrap();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: ScalingReport = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.runs.len(), r.runs.len());
+        assert_eq!(back.wire.ghost_apply_bytes_fp32, 400);
+    }
+
+    #[test]
+    fn validation_rejects_schema_violations() {
+        let mut r = good_report();
+        r.runs[1].chfes_phase_seconds.remove(0);
+        assert!(r.validate().is_err());
+
+        let mut r = good_report();
+        r.runs[2].free_energy_ha += 1e-6;
+        assert!(r.validate().is_err());
+
+        let mut r = good_report();
+        r.wire.ghost_apply_bytes_fp32 += 1;
+        assert!(r.validate().is_err());
+
+        let mut r = good_report();
+        r.runs[0].comm.bytes_total = 7;
+        assert!(r.validate().is_err());
+
+        let mut r = good_report();
+        r.runs[1].nranks = 5;
+        r.runs[2].nranks = 3;
+        assert!(r.validate().is_err());
+    }
+}

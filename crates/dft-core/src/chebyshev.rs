@@ -14,7 +14,7 @@
 //!
 //! Spectral bounds come from a few Lanczos steps ([`lanczos_bounds`]).
 
-use crate::hamiltonian::KsHamiltonian;
+use crate::hamiltonian::HamOperator;
 use dft_hpc::profile::{Phase, PhaseScope, Profile};
 use dft_linalg::blas1;
 use dft_linalg::eig::eigh;
@@ -223,11 +223,38 @@ pub fn chebyshev_filter_scratch<T: Scalar>(
 /// Analytic FLOP count of one [`chebyshev_filter`] call of degree `m` on
 /// `ncols` columns of `h`: `m` Hamiltonian applies plus the three-term
 /// recurrence update (per element and degree step, roughly three scalings
-/// and two additions).
-pub fn chebyshev_filter_flops<T: Scalar>(h: &KsHamiltonian<'_, T>, ncols: usize, m: usize) -> u64 {
+/// and two additions). For a distributed operator both terms count the
+/// rank-local work (`h.dim()` = owned DoFs).
+pub fn chebyshev_filter_flops<T: Scalar>(h: &dyn HamOperator<T>, ncols: usize, m: usize) -> u64 {
     let elems = (h.dim() * ncols) as u64;
     let recur = elems * (3 * T::MUL_FLOPS + 2 * T::ADD_FLOPS);
     m as u64 * (h.apply_flops(ncols) + recur)
+}
+
+/// The cross-rank reduction hook that makes ChFES distribution-agnostic:
+/// every dense subspace quantity (overlap `S`, projected Hamiltonian,
+/// squared column norms) is computed from the locally-owned wavefunction
+/// rows and then handed to the reducer, which sums it across ranks. The
+/// serial solver uses [`NoReduce`] and is arithmetically unchanged.
+pub trait SubspaceReducer<T: Scalar> {
+    /// Sum an `N x N` subspace matrix over all ranks, in place. Must leave
+    /// bit-identical results on every rank.
+    fn reduce_matrix(&self, m: &mut Matrix<T>);
+    /// Sum a small `f64` buffer over all ranks, in place.
+    fn reduce_f64(&self, v: &mut [f64]);
+    /// Whether wavefunction rows are actually sharded (`true` forbids the
+    /// row-local Löwdin fallback, which is only valid on full columns).
+    fn is_distributed(&self) -> bool {
+        false
+    }
+}
+
+/// The identity reduction of the shared-memory solver.
+pub struct NoReduce;
+
+impl<T: Scalar> SubspaceReducer<T> for NoReduce {
+    fn reduce_matrix(&self, _m: &mut Matrix<T>) {}
+    fn reduce_f64(&self, _v: &mut [f64]) {}
 }
 
 /// Hermitian product `C = A† B` with the paper's mixed-precision layout:
@@ -263,7 +290,7 @@ pub fn adjoint_product_mixed<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, block: usi
 /// `bounds = (a0, a, b)`: wanted-spectrum lower estimate, filter edge
 /// (above the wanted states), and a safe upper bound of the full spectrum.
 pub fn chfes<T: Scalar>(
-    h: &KsHamiltonian<'_, T>,
+    h: &dyn HamOperator<T>,
     psi: &mut Matrix<T>,
     bounds: (f64, f64, f64),
     opts: &ChfesOptions,
@@ -277,11 +304,32 @@ pub fn chfes<T: Scalar>(
 /// wall-time-only, matching the paper's Sec. 6.3 accounting). With
 /// `profile = None` this is exactly [`chfes`].
 pub fn chfes_profiled<T: Scalar>(
-    h: &KsHamiltonian<'_, T>,
+    h: &dyn HamOperator<T>,
     psi: &mut Matrix<T>,
     bounds: (f64, f64, f64),
     opts: &ChfesOptions,
     profile: Option<&Profile>,
+) -> Vec<f64> {
+    chfes_reduced(h, None, psi, bounds, opts, profile, &NoReduce)
+}
+
+/// The distribution-agnostic ChFES cycle: `psi` holds this rank's *owned*
+/// wavefunction rows (all rows in the serial case), `reducer` sums subspace
+/// quantities across ranks, and `filter_op` optionally substitutes a
+/// different operator for the CF recurrence only — the distributed solver
+/// passes its FP32-wire Hamiltonian there while keeping the FP64 one for
+/// Rayleigh-Ritz, which is the paper's "FP32 boundary wire, FP64 math"
+/// split (Sec. 5.4.2). With `filter_op = None` and [`NoReduce`] this is
+/// arithmetically identical to [`chfes_profiled`].
+#[allow(clippy::too_many_arguments)]
+pub fn chfes_reduced<T: Scalar>(
+    h: &dyn HamOperator<T>,
+    filter_op: Option<&dyn LinearOperator<T>>,
+    psi: &mut Matrix<T>,
+    bounds: (f64, f64, f64),
+    opts: &ChfesOptions,
+    profile: Option<&Profile>,
+    reducer: &dyn SubspaceReducer<T>,
 ) -> Vec<f64> {
     let (a0, a, b) = bounds;
     let n_states = psi.ncols();
@@ -293,6 +341,7 @@ pub fn chfes_profiled<T: Scalar>(
     // The filter scratch and the block buffer persist across blocks.
     {
         let mut scope = PhaseScope::new(profile, Phase::Cf);
+        let fop: &dyn LinearOperator<T> = filter_op.unwrap_or(h);
         let bf = opts.block_size.max(1);
         let mut cf_scratch = CfScratch::new();
         let mut block = Matrix::<T>::zeros(nd, bf.min(n_states));
@@ -303,16 +352,28 @@ pub fn chfes_profiled<T: Scalar>(
                 block = Matrix::zeros(nd, j1 - j0);
             }
             block.copy_cols_from(psi, j0);
-            chebyshev_filter_scratch(h, &mut block, opts.cheb_degree, a, b, a0, &mut cf_scratch);
+            chebyshev_filter_scratch(fop, &mut block, opts.cheb_degree, a, b, a0, &mut cf_scratch);
             psi.set_cols(j0, &block);
             scope.add_flops(chebyshev_filter_flops(h, j1 - j0, opts.cheb_degree));
             scope.add_bytes(2 * (nd * (j1 - j0)) as u64 * tsize * opts.cheb_degree as u64);
             j0 = j1;
         }
 
-        // scale columns to unit norm to avoid overflow before CholGS
+        // scale columns to unit norm to avoid overflow before CholGS: local
+        // sum of squares, cross-rank reduce, then sqrt — the serial path
+        // (identity reduce) accumulates in exactly the order of
+        // `blas1::nrm2`, so results are bit-identical to the pre-hook code
+        let mut sumsq = vec![0.0f64; n_states];
+        for (j, sq) in sumsq.iter_mut().enumerate() {
+            let mut acc = T::Re::ZERO;
+            for v in psi.col(j) {
+                acc += v.abs_sq();
+            }
+            *sq = acc.to_f64();
+        }
+        reducer.reduce_f64(&mut sumsq);
         for j in 0..n_states {
-            let nrm = blas1::nrm2(psi.col(j)).to_f64().max(1e-300);
+            let nrm = sumsq[j].sqrt().max(1e-300);
             let inv = T::Re::from_f64(1.0 / nrm);
             for v in psi.col_mut(j) {
                 *v = v.scale(inv);
@@ -330,15 +391,14 @@ pub fn chfes_profiled<T: Scalar>(
         let mut scope = PhaseScope::new(profile, Phase::CholGsS);
         scope.add_flops(gemm_flops::<T>(n_states, n_states, nd));
         scope.add_bytes(block_bytes + (n_states * n_states) as u64 * tsize);
-        if opts.mixed_precision {
-            let mut s = adjoint_product_mixed(psi, psi, bf);
-            s.symmetrize_hermitian();
-            s
+        let mut s = if opts.mixed_precision {
+            adjoint_product_mixed(psi, psi, bf)
         } else {
-            let mut s = matmul(psi, Op::ConjTrans, psi, Op::None);
-            s.symmetrize_hermitian();
-            s
-        }
+            matmul(psi, Op::ConjTrans, psi, Op::None)
+        };
+        reducer.reduce_matrix(&mut s);
+        s.symmetrize_hermitian();
+        s
     };
 
     // [CholGS-CI] factorization + triangular inverse (wall-time-only)
@@ -381,14 +441,41 @@ pub fn chfes_profiled<T: Scalar>(
             }
             Err(_) => {
                 // filter produced a (numerically) rank-deficient block: fall
-                // back to Löwdin orthonormalization
+                // back to Löwdin orthonormalization. Löwdin diagonalizes the
+                // *local-row* Gram, so it is only valid on full columns —
+                // the distributed solver must not reach this path.
+                assert!(
+                    !reducer.is_distributed(),
+                    "rank-deficient filtered block in distributed CholGS \
+                     (no row-local Löwdin fallback exists)"
+                );
                 lowdin_orthonormalize(psi).expect("Löwdin fallback failed");
             }
         }
         if opts.mixed_precision {
             // FP32 rounding in the orthonormalization GEMM leaves O(1e-7)
             // non-orthogonality; one cheap cleanup pass keeps RR well-posed.
-            lowdin_orthonormalize(psi).expect("mixed-precision cleanup");
+            if reducer.is_distributed() {
+                // distributed cleanup: a second (FP64) CholGS pass on the
+                // reduced overlap, which is valid on sharded rows
+                let mut s2 = matmul(psi, Op::ConjTrans, psi, Op::None);
+                reducer.reduce_matrix(&mut s2);
+                s2.symmetrize_hermitian();
+                let linv2 = dft_linalg::chol::cholesky_inverse(&s2)
+                    .expect("distributed mixed-precision cleanup");
+                gemm(
+                    T::ONE,
+                    psi,
+                    Op::None,
+                    &linv2,
+                    Op::ConjTrans,
+                    T::ZERO,
+                    &mut work,
+                );
+                std::mem::swap(psi, &mut work);
+            } else {
+                lowdin_orthonormalize(psi).expect("mixed-precision cleanup");
+            }
         }
     }
 
@@ -403,6 +490,7 @@ pub fn chfes_profiled<T: Scalar>(
         } else {
             matmul(psi, Op::ConjTrans, &work, Op::None)
         };
+        reducer.reduce_matrix(&mut hp);
         hp.symmetrize_hermitian();
         hp
     };
@@ -444,6 +532,7 @@ pub fn random_subspace<T: Scalar>(ndofs: usize, n_states: usize, seed: u64) -> M
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hamiltonian::KsHamiltonian;
     use dft_fem::mesh::Mesh3d;
     use dft_fem::space::FeSpace;
 

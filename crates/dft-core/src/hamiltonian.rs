@@ -19,6 +19,16 @@ use dft_linalg::iterative::LinearOperator;
 use dft_linalg::matrix::Matrix;
 use dft_linalg::scalar::{Real, Scalar};
 
+/// A Kohn-Sham Hamiltonian-shaped operator: a [`LinearOperator`] that also
+/// knows the analytic FLOP cost of one apply, which is what the ChFES phase
+/// profiling records. Implemented by the shared-memory [`KsHamiltonian`]
+/// and by the distributed operator of `dft-parallel` (whose `dim` is the
+/// rank-local owned-DoF count and whose FLOPs are the rank-local work).
+pub trait HamOperator<T: Scalar>: LinearOperator<T> {
+    /// Analytic FLOP count of one apply on `ncols` columns.
+    fn apply_flops(&self, ncols: usize) -> u64;
+}
+
 /// The discrete KS Hamiltonian for one k-point.
 pub struct KsHamiltonian<'a, T: Scalar> {
     space: &'a FeSpace,
@@ -66,6 +76,12 @@ impl<'a, T: Scalar> KsHamiltonian<'a, T> {
         (0..self.space.ndofs())
             .map(|d| 0.5 * s[d] * s[d] * kdiag[d] + self.v_eff_dof[d])
             .collect()
+    }
+}
+
+impl<'a, T: Scalar> HamOperator<T> for KsHamiltonian<'a, T> {
+    fn apply_flops(&self, ncols: usize) -> u64 {
+        KsHamiltonian::apply_flops(self, ncols)
     }
 }
 

@@ -40,10 +40,11 @@ pub mod system;
 pub mod xc;
 
 pub use chebyshev::{
-    chebyshev_filter, chebyshev_filter_flops, chfes, chfes_profiled, lanczos_bounds, ChfesOptions,
+    chebyshev_filter, chebyshev_filter_flops, chfes, chfes_profiled, chfes_reduced, lanczos_bounds,
+    ChfesOptions, NoReduce, SubspaceReducer,
 };
 pub use forces::{compute_forces, max_force};
-pub use hamiltonian::KsHamiltonian;
+pub use hamiltonian::{HamOperator, KsHamiltonian};
 pub use mixing::AndersonMixer;
 pub use occupation::{fermi_occupations, OccupationResult};
 pub use relax::{relax, RelaxConfig, RelaxResult};

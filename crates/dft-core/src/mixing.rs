@@ -32,6 +32,21 @@ impl AndersonMixer {
     /// Produce the next input density from `(rho_in, rho_out)` of the
     /// current SCF step.
     pub fn mix(&mut self, rho_in: &[f64], rho_out: &[f64]) -> Vec<f64> {
+        self.mix_with(rho_in, rho_out, &|_| {})
+    }
+
+    /// [`Self::mix`] with a cross-rank reduction hook for the `m x m`
+    /// residual Gram matrix: a distributed SCF passes weights masked to its
+    /// owned nodes and sums the partial Grams with `reduce_gram` (an
+    /// allreduce), after which every rank solves the same small system and
+    /// produces identical mixing coefficients. The serial path passes a
+    /// no-op closure and is unchanged.
+    pub fn mix_with(
+        &mut self,
+        rho_in: &[f64],
+        rho_out: &[f64],
+        reduce_gram: &dyn Fn(&mut [f64]),
+    ) -> Vec<f64> {
         let n = rho_in.len();
         let res: Vec<f64> = (0..n).map(|i| rho_out[i] - rho_in[i]).collect();
         self.history.push((rho_in.to_vec(), res));
@@ -52,6 +67,9 @@ impl AndersonMixer {
                 b[i * m + j] = self.dot(&self.history[i].1, &self.history[j].1);
             }
         }
+        // assemble partial Grams across ranks before regularizing, so the
+        // regularization sees the full-domain trace
+        reduce_gram(&mut b);
         // regularize
         let tr: f64 = (0..m).map(|i| b[i * m + i]).sum::<f64>() / m as f64;
         for i in 0..m {

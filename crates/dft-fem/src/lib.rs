@@ -35,6 +35,7 @@ pub mod basis;
 pub mod field;
 pub mod gll;
 pub mod mesh;
+pub mod partition;
 pub mod poisson;
 pub mod space;
 
@@ -42,5 +43,6 @@ pub use basis::Lagrange1d;
 pub use field::NodalField;
 pub use gll::{gauss_legendre, gauss_lobatto_legendre};
 pub use mesh::{Axis, BoundaryCondition, Mesh3d};
+pub use partition::{dof_owners, node_owners, partition_cells, CellRange};
 pub use poisson::{solve_poisson, PoissonBc};
-pub use space::{CellDenseOperator, FeSpace, StiffnessOperator};
+pub use space::{phase_products, CellDenseOperator, FeSpace, StiffnessOperator};

@@ -1,0 +1,172 @@
+//! Deterministic domain decomposition of an [`FeSpace`](crate::space::FeSpace)
+//! into contiguous slabs of cells for distributed-memory solves.
+//!
+//! The decomposition is *derived*, not negotiated: every rank runs the same
+//! pure function of `(FeSpace, nranks, rank)` over the space's precomputed
+//! gather/scatter tables, so all ranks agree on ownership without any setup
+//! communication and the partition is bit-reproducible across runs and
+//! independent of thread scheduling (cells are stored x-fastest in a fixed
+//! `cz/cy/cx` build order — see `FeSpace::new`).
+//!
+//! Ownership follows the **first-touch** rule: a DoF (or node) is owned by
+//! the rank of the lowest-indexed cell that touches it. With contiguous cell
+//! slabs this makes each rank's owned DoF set a union of "first seen here"
+//! indices; shared interface DoFs belong to the lower rank and appear as
+//! ghosts on the higher one — exactly the owner/ghost split of DFT-FE's
+//! distributed triangulation.
+
+use crate::space::FeSpace;
+
+/// Contiguous cell range `[start, end)` assigned to one rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellRange {
+    /// First cell index owned by the rank.
+    pub start: usize,
+    /// One past the last cell index.
+    pub end: usize,
+}
+
+impl CellRange {
+    /// Number of cells in the slab.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the slab is empty (more ranks than cells).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Split `ncells` into `nranks` contiguous, near-equal slabs (the first
+/// `ncells % nranks` ranks get one extra cell). Deterministic in its inputs.
+pub fn partition_cells(ncells: usize, nranks: usize) -> Vec<CellRange> {
+    assert!(nranks >= 1);
+    let base = ncells / nranks;
+    let extra = ncells % nranks;
+    let mut ranges = Vec::with_capacity(nranks);
+    let mut start = 0;
+    for r in 0..nranks {
+        let len = base + usize::from(r < extra);
+        ranges.push(CellRange {
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    debug_assert_eq!(start, ncells);
+    ranges
+}
+
+/// Owner rank of every DoF under first-touch ownership: the rank whose slab
+/// contains the lowest-indexed cell touching the DoF. Sequential scan in
+/// cell order — deterministic by construction.
+pub fn dof_owners(space: &FeSpace, ranges: &[CellRange]) -> Vec<u32> {
+    let mut owner = vec![u32::MAX; space.ndofs()];
+    assign_first_touch(
+        space,
+        ranges,
+        |ci, _| {
+            space
+                .cell_dofs(ci)
+                .iter()
+                .filter_map(|&d| if d >= 0 { Some(d as usize) } else { None })
+        },
+        &mut owner,
+    );
+    owner
+}
+
+/// Owner rank of every FE node (including Dirichlet boundary nodes, which
+/// carry no DoF but still contribute to nodal fields such as the density).
+pub fn node_owners(space: &FeSpace, ranges: &[CellRange]) -> Vec<u32> {
+    let mut owner = vec![u32::MAX; space.nnodes()];
+    assign_first_touch(
+        space,
+        ranges,
+        |ci, _| space.cell_nodes(ci).iter().map(|&n| n as usize),
+        &mut owner,
+    );
+    owner
+}
+
+fn assign_first_touch<'a, I, F>(
+    space: &'a FeSpace,
+    ranges: &[CellRange],
+    indices_of_cell: F,
+    owner: &mut [u32],
+) where
+    I: Iterator<Item = usize> + 'a,
+    F: Fn(usize, &'a FeSpace) -> I,
+{
+    for (r, range) in ranges.iter().enumerate() {
+        for ci in range.start..range.end {
+            for idx in indices_of_cell(ci, space) {
+                if owner[idx] == u32::MAX {
+                    owner[idx] = r as u32;
+                }
+            }
+        }
+    }
+    debug_assert!(owner.iter().all(|&o| o != u32::MAX));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh3d;
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        for (ncells, nranks) in [(27, 4), (8, 8), (5, 8), (64, 1)] {
+            let ranges = partition_cells(ncells, nranks);
+            assert_eq!(ranges.len(), nranks);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges[nranks - 1].end, ncells);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (*lens.iter().min().unwrap(), *lens.iter().max().unwrap());
+            assert!(max - min <= 1, "slabs must be near-equal: {lens:?}");
+        }
+    }
+
+    #[test]
+    fn first_touch_owners_cover_everything_and_are_deterministic() {
+        let space = FeSpace::new(Mesh3d::periodic_cube(2, 6.0, 3));
+        let ranges = partition_cells(space.cells().len(), 4);
+        let d1 = dof_owners(&space, &ranges);
+        let d2 = dof_owners(&space, &ranges);
+        assert_eq!(d1, d2);
+        assert!(d1.iter().all(|&o| (o as usize) < 4));
+        let n1 = node_owners(&space, &ranges);
+        assert!(n1.iter().all(|&o| (o as usize) < 4));
+        // every rank owns at least one DoF on this mesh
+        for r in 0..4u32 {
+            assert!(d1.contains(&r), "rank {r} owns no DoFs");
+        }
+    }
+
+    #[test]
+    fn interface_dofs_belong_to_the_lower_rank() {
+        let space = FeSpace::new(Mesh3d::cube(2, 4.0, 3));
+        let ranges = partition_cells(space.cells().len(), 2);
+        let owners = dof_owners(&space, &ranges);
+        // a DoF touched by cells of both ranks must be owned by rank 0
+        for ci in ranges[1].start..ranges[1].end {
+            for &d in space.cell_dofs(ci) {
+                if d < 0 {
+                    continue;
+                }
+                let touched_by_r0 =
+                    (ranges[0].start..ranges[0].end).any(|cj| space.cell_dofs(cj).contains(&d));
+                if touched_by_r0 {
+                    assert_eq!(owners[d as usize], 0);
+                }
+            }
+        }
+    }
+}

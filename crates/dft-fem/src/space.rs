@@ -70,8 +70,10 @@ const COL_BLOCK: usize = 8;
 
 /// The 8 possible products of Bloch phases selected by a wrap bitmask
 /// (identity for mask 0). `conj` gives the scatter-side conjugate table.
+/// Public so distributed operators can run the same gather/scatter phase
+/// arithmetic on their localized cell tables.
 #[inline]
-fn phase_products<T: Scalar>(phases: [T; 3], conj: bool) -> [T; 8] {
+pub fn phase_products<T: Scalar>(phases: [T; 3], conj: bool) -> [T; 8] {
     let p = if conj {
         [phases[0].conj(), phases[1].conj(), phases[2].conj()]
     } else {
@@ -262,6 +264,32 @@ impl FeSpace {
     #[inline]
     pub fn cells(&self) -> &[Cell] {
         &self.cells
+    }
+
+    /// Local nodes per cell, `(p+1)^3`.
+    #[inline]
+    pub fn nloc(&self) -> usize {
+        self.nloc
+    }
+
+    /// Per-local-node DoF indices of cell `ci` (`-1` on eliminated
+    /// Dirichlet nodes), from the precomputed gather/scatter tables.
+    #[inline]
+    pub fn cell_dofs(&self, ci: usize) -> &[i32] {
+        &self.cell_dof[ci * self.nloc..(ci + 1) * self.nloc]
+    }
+
+    /// Per-local-node periodic-wrap bitmasks of cell `ci` (bit 0 = x wrap,
+    /// bit 1 = y, bit 2 = z) selecting the Bloch phase product.
+    #[inline]
+    pub fn cell_wraps(&self, ci: usize) -> &[u8] {
+        &self.cell_wrap[ci * self.nloc..(ci + 1) * self.nloc]
+    }
+
+    /// Per-local-node global node indices of cell `ci`.
+    #[inline]
+    pub fn cell_nodes(&self, ci: usize) -> &[u32] {
+        &self.cell_node[ci * self.nloc..(ci + 1) * self.nloc]
     }
 
     /// Unique node counts per axis.

@@ -38,12 +38,36 @@ struct Packet {
 }
 
 /// Shared byte/message counters for a cluster run.
+///
+/// Every hop of every primitive — point-to-point sends, barrier
+/// control messages, and each leg of the collectives — passes through
+/// [`ThreadComm::send_bytes`], so `bytes_sent` is the exact payload volume
+/// that crossed the wire. Floating-point payloads are additionally broken
+/// down by wire precision (`bytes_fp64` / `bytes_fp32`), which is what
+/// makes the paper's "FP32 boundary exchange halves traffic" claim
+/// (Sec. 5.4.2) directly measurable.
 #[derive(Default)]
 pub struct CommStats {
     /// Total payload bytes sent by all ranks (point-to-point + collectives).
     pub bytes_sent: AtomicU64,
     /// Total messages sent.
     pub messages: AtomicU64,
+    /// Payload bytes sent as FP64 floating-point data.
+    pub bytes_fp64: AtomicU64,
+    /// Payload bytes sent as FP32 (demoted) floating-point data.
+    pub bytes_fp32: AtomicU64,
+}
+
+impl CommStats {
+    /// Snapshot of `(bytes_sent, messages, bytes_fp64, bytes_fp32)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.bytes_sent.load(Ordering::Relaxed),
+            self.messages.load(Ordering::Relaxed),
+            self.bytes_fp64.load(Ordering::Relaxed),
+            self.bytes_fp32.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// One rank's endpoint in a threaded cluster.
@@ -89,15 +113,21 @@ impl ThreadComm {
             .expect("receiver dropped");
     }
 
+    /// Pop the first buffered packet matching `(src, tag)`, preserving the
+    /// arrival (FIFO) order of any same-`(src, tag)` messages behind it.
+    fn take_pending(&mut self, src: usize, tag: u64) -> Option<Vec<u8>> {
+        let pos = self
+            .pending
+            .iter()
+            .position(|p| p.src == src && p.tag == tag)?;
+        Some(self.pending.remove(pos).unwrap().data)
+    }
+
     /// Blocking receive of a message from `src` with `tag` (out-of-order
     /// arrivals are buffered).
     pub fn recv_bytes(&mut self, src: usize, tag: u64) -> Vec<u8> {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|p| p.src == src && p.tag == tag)
-        {
-            return self.pending.remove(pos).unwrap().data;
+        if let Some(data) = self.take_pending(src, tag) {
+            return data;
         }
         loop {
             let p = self.receiver.recv().expect("all senders dropped");
@@ -105,6 +135,36 @@ impl ThreadComm {
                 return p.data;
             }
             self.pending.push_back(p);
+        }
+    }
+
+    /// Nonblocking receive: drain everything that has already arrived into
+    /// the pending queue and return the first match for `(src, tag)` if one
+    /// is there, `None` otherwise. The counterpart of [`Self::isend_f64`]
+    /// for comm/compute overlap — poll between interior-compute chunks.
+    pub fn try_recv_bytes(&mut self, src: usize, tag: u64) -> Option<Vec<u8>> {
+        while let Ok(p) = self.receiver.try_recv() {
+            self.pending.push_back(p);
+        }
+        self.take_pending(src, tag)
+    }
+
+    fn wire_tag(tag: u64, wire: WirePrecision) -> u64 {
+        // the wire format travels in the low bit of the tag space so a
+        // receive must name the same precision the send used
+        tag << 1 | u64::from(wire == WirePrecision::Fp32)
+    }
+
+    fn decode_f64(bytes: &[u8], wire: WirePrecision) -> Vec<f64> {
+        match wire {
+            WirePrecision::Fp64 => bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+            WirePrecision::Fp32 => bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()) as f64)
+                .collect(),
         }
     }
 
@@ -126,26 +186,34 @@ impl ThreadComm {
                 b
             }
         };
-        // tag the wire format in the high bit of the tag space
-        let wire_tag = tag << 1 | if wire == WirePrecision::Fp32 { 1 } else { 0 };
-        self.send_bytes(dst, wire_tag, bytes);
+        let counter = match wire {
+            WirePrecision::Fp64 => &self.stats.bytes_fp64,
+            WirePrecision::Fp32 => &self.stats.bytes_fp32,
+        };
+        counter.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.send_bytes(dst, Self::wire_tag(tag, wire), bytes);
+    }
+
+    /// Nonblocking (immediately returning) send of an `f64` slice. The
+    /// channel transport is buffered, so posting the send never waits on the
+    /// receiver: issue boundary `isend`s first, overlap interior compute,
+    /// then harvest with [`Self::try_recv_f64`] / [`Self::recv_f64`].
+    pub fn isend_f64(&self, dst: usize, tag: u64, data: &[f64], wire: WirePrecision) {
+        self.send_f64(dst, tag, data, wire);
     }
 
     /// Receive an `f64` slice sent with [`Self::send_f64`] (promoting FP32
     /// payloads back to FP64).
     pub fn recv_f64(&mut self, src: usize, tag: u64, wire: WirePrecision) -> Vec<f64> {
-        let wire_tag = tag << 1 | if wire == WirePrecision::Fp32 { 1 } else { 0 };
-        let bytes = self.recv_bytes(src, wire_tag);
-        match wire {
-            WirePrecision::Fp64 => bytes
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-                .collect(),
-            WirePrecision::Fp32 => bytes
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap()) as f64)
-                .collect(),
-        }
+        let bytes = self.recv_bytes(src, Self::wire_tag(tag, wire));
+        Self::decode_f64(&bytes, wire)
+    }
+
+    /// Nonblocking variant of [`Self::recv_f64`]: `None` if the message has
+    /// not arrived yet.
+    pub fn try_recv_f64(&mut self, src: usize, tag: u64, wire: WirePrecision) -> Option<Vec<f64>> {
+        self.try_recv_bytes(src, Self::wire_tag(tag, wire))
+            .map(|b| Self::decode_f64(&b, wire))
     }
 
     /// Barrier across all ranks (dissemination via rank 0).
@@ -191,28 +259,47 @@ impl ThreadComm {
         }
     }
 
-    /// Broadcast from rank 0.
-    pub fn broadcast_f64(&mut self, data: &mut [f64]) {
+    /// Broadcast from rank 0, with selectable wire precision (rank 0's data
+    /// is left untouched; FP32 wire rounds what the other ranks receive).
+    /// Each of the `size - 1` hops carries the full payload once.
+    pub fn broadcast_f64(&mut self, data: &mut [f64], wire: WirePrecision) {
         const TAG: u64 = (1 << 60) + 5000;
         if self.size == 1 {
             return;
         }
         if self.rank == 0 {
             for r in 1..self.size {
-                self.send_f64(r, TAG, data, WirePrecision::Fp64);
+                self.send_f64(r, TAG, data, wire);
             }
         } else {
-            let v = self.recv_f64(0, TAG, WirePrecision::Fp64);
+            let v = self.recv_f64(0, TAG, wire);
             data.copy_from_slice(&v);
         }
     }
 
-    /// Gather per-rank scalars at every rank (small allgather).
+    /// Gather per-rank scalars at every rank (small allgather):
+    /// gather-to-root then broadcast, so every hop moves only payload —
+    /// `size - 1` one-scalar hops in, `size - 1` full-vector hops out
+    /// (the former one-hot-allreduce implementation padded every hop to
+    /// `size` scalars, inflating the recorded wire volume).
     pub fn allgather_scalar(&mut self, v: f64) -> Vec<f64> {
+        const TAG: u64 = (1 << 60) + 7000;
         let mut buf = vec![0.0; self.size];
         buf[self.rank] = v;
-        // naive: allreduce of a one-hot vector
-        self.allreduce_sum_f64(&mut buf, WirePrecision::Fp64);
+        if self.size == 1 {
+            return buf;
+        }
+        if self.rank == 0 {
+            // r is the peer rank, not just an index into buf
+            #[allow(clippy::needless_range_loop)]
+            for r in 1..self.size {
+                let got = self.recv_f64(r, TAG + r as u64, WirePrecision::Fp64);
+                buf[r] = got[0];
+            }
+        } else {
+            self.send_f64(0, TAG + self.rank as u64, &[v], WirePrecision::Fp64);
+        }
+        self.broadcast_f64(&mut buf, WirePrecision::Fp64);
         buf
     }
 }
@@ -381,9 +468,136 @@ mod tests {
             let mut v = vec![3.5];
             c.allreduce_sum_f64(&mut v, WirePrecision::Fp64);
             c.barrier();
-            c.broadcast_f64(&mut v);
+            c.broadcast_f64(&mut v, WirePrecision::Fp64);
             v[0]
         });
         assert_eq!(results[0], 3.5);
+    }
+
+    /// Satellite: the FP32 allreduce must record exactly half the payload
+    /// bytes of the FP64 one — every hop of the collective carries only
+    /// payload, demoted uniformly.
+    #[test]
+    fn fp32_allreduce_records_exactly_half_fp64_payload_bytes() {
+        let n = 4;
+        let run = |wire: WirePrecision| {
+            let (_, stats) = run_cluster(n, move |c| {
+                let mut v = vec![c.rank() as f64 + 0.25; 257];
+                c.allreduce_sum_f64(&mut v, wire);
+            });
+            stats.snapshot()
+        };
+        let (b64, m64, fp64_64, fp32_64) = run(WirePrecision::Fp64);
+        let (b32, m32, fp64_32, fp32_32) = run(WirePrecision::Fp32);
+        // same hop count, half the bytes, and precision counters agree
+        assert_eq!(m64, m32);
+        assert_eq!(2 * b32, b64, "fp32 allreduce must move half the bytes");
+        assert_eq!(fp64_64, b64);
+        assert_eq!(fp32_64, 0);
+        assert_eq!(fp32_32, b32);
+        assert_eq!(fp64_32, 0);
+        // 2*(n-1) hops of 257 scalars each
+        assert_eq!(b64, (2 * (n as u64 - 1)) * 257 * 8);
+    }
+
+    /// Satellite: interleaved *distinct* tags flowing both directions, with
+    /// each side receiving in a permuted order, so every receive but the
+    /// first goes through the pending-queue path.
+    #[test]
+    fn interleaved_distinct_tags_both_directions() {
+        let (results, _) = run_cluster(2, |c| {
+            let peer = 1 - c.rank();
+            let base = (c.rank() as f64 + 1.0) * 100.0;
+            for (i, tag) in [11u64, 22, 33, 44].iter().enumerate() {
+                c.send_f64(peer, *tag, &[base + i as f64], WirePrecision::Fp64);
+            }
+            // harvest in an order disjoint from the send order
+            let d = c.recv_f64(peer, 44, WirePrecision::Fp64)[0];
+            let b = c.recv_f64(peer, 22, WirePrecision::Fp64)[0];
+            let a = c.recv_f64(peer, 11, WirePrecision::Fp64)[0];
+            let cc = c.recv_f64(peer, 33, WirePrecision::Fp64)[0];
+            (a, b, cc, d)
+        });
+        let expect = |base: f64| (base, base + 1.0, base + 2.0, base + 3.0);
+        assert_eq!(results[0], expect(200.0));
+        assert_eq!(results[1], expect(100.0));
+    }
+
+    /// Repeated messages on the same `(src, tag)` must pop in send (FIFO)
+    /// order even when an unrelated tag is buffered ahead of them.
+    #[test]
+    fn same_tag_messages_preserve_fifo_order() {
+        let (results, _) = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64(1, 9, &[-1.0], WirePrecision::Fp64); // decoy tag
+                for i in 0..4 {
+                    c.send_f64(1, 5, &[i as f64], WirePrecision::Fp64);
+                }
+                vec![]
+            } else {
+                let seq: Vec<f64> = (0..4)
+                    .map(|_| c.recv_f64(0, 5, WirePrecision::Fp64)[0])
+                    .collect();
+                let decoy = c.recv_f64(0, 9, WirePrecision::Fp64)[0];
+                assert_eq!(decoy, -1.0);
+                seq
+            }
+        });
+        assert_eq!(results[1], vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    /// isend/try_recv contract: `try_recv_f64` returns `None` before the
+    /// message is posted and `Some` after, without ever blocking.
+    #[test]
+    fn isend_try_recv_roundtrip() {
+        let (results, _) = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                // nothing posted yet on tag 77 from rank 1
+                let early = c.try_recv_f64(1, 77, WirePrecision::Fp32);
+                assert!(early.is_none());
+                c.barrier(); // rank 1 posts its isend before this barrier
+                loop {
+                    if let Some(v) = c.try_recv_f64(1, 77, WirePrecision::Fp32) {
+                        return v[0];
+                    }
+                    std::hint::spin_loop();
+                }
+            } else {
+                c.isend_f64(0, 77, &[6.5], WirePrecision::Fp32);
+                c.barrier();
+                6.5
+            }
+        });
+        assert_eq!(results, vec![6.5, 6.5]);
+    }
+
+    /// A send and receive naming different wire precisions must not pair up:
+    /// the precision is part of the wire tag.
+    #[test]
+    fn wire_precision_is_part_of_the_match() {
+        let (results, _) = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64(1, 3, &[1.0], WirePrecision::Fp32);
+                c.send_f64(1, 3, &[2.0], WirePrecision::Fp64);
+                0.0
+            } else {
+                // ask for the FP64 message first: the FP32 one must not match
+                let v64 = c.recv_f64(0, 3, WirePrecision::Fp64)[0];
+                let v32 = c.recv_f64(0, 3, WirePrecision::Fp32)[0];
+                10.0 * v64 + v32
+            }
+        });
+        assert_eq!(results[1], 21.0);
+    }
+
+    /// `allgather_scalar` wire volume: (n-1) one-scalar gather hops plus
+    /// (n-1) n-scalar broadcast hops, nothing more.
+    #[test]
+    fn allgather_scalar_moves_only_payload() {
+        let n = 4u64;
+        let (_, stats) = run_cluster(n as usize, |c| c.allgather_scalar(c.rank() as f64));
+        let (bytes, msgs, _, _) = stats.snapshot();
+        assert_eq!(bytes, (n - 1) * 8 + (n - 1) * n * 8);
+        assert_eq!(msgs, 2 * (n - 1));
     }
 }

@@ -1,0 +1,37 @@
+//! # dft-parallel
+//!
+//! The distributed-memory Kohn-Sham solver: the paper's massively parallel
+//! ChFES (Secs. 5.4.1-5.4.2) realized on the threaded MPI stand-in of
+//! [`dft_hpc::comm`]. The FE mesh is split into contiguous slabs of cells
+//! across ranks, wavefunction blocks are sharded by owned DoF rows, and the
+//! dense subspace steps (CholGS, Rayleigh-Ritz) run through the
+//! reduction-hooked [`dft_core::chfes_reduced`] with cross-rank allreduces.
+//!
+//! * [`decomp`] — per-rank owned/ghost DoF maps derived deterministically
+//!   from [`dft_fem::partition`] (no setup communication);
+//! * [`operator`] — the distributed stiffness / Hamiltonian apply: ghost
+//!   exchange posted with nonblocking `isend`, *overlapped* with
+//!   interior-cell sum-factorized compute, harvested with `try_recv`, and
+//!   reverse-accumulated in deterministic rank order — with
+//!   [`WirePrecision`](dft_hpc::WirePrecision) selecting FP64 or FP32
+//!   boundary payloads (the paper's comm-halving trick);
+//! * [`reduce`] — the [`ClusterReducer`] that sums subspace matrices with
+//!   `allreduce_sum_f64`, leaving bit-identical results on every rank;
+//! * [`scf`] — the distributed SCF driver: replicated nodal fields and
+//!   Poisson solves, sharded eigensolver, density assembly by allreduce,
+//!   Anderson mixing with owned-node-masked Gram reduction, per-rank
+//!   [`ScfProfile`](dft_hpc::ScfProfile)s and a merged comm-volume report.
+
+#![deny(unsafe_code)]
+// indexed loops deliberately mirror the paper's subscript notation
+#![allow(clippy::needless_range_loop)]
+
+pub mod decomp;
+pub mod operator;
+pub mod reduce;
+pub mod scf;
+
+pub use decomp::Decomposition;
+pub use operator::{DistHamiltonian, DistSpace, SharedComm, WireScalar};
+pub use reduce::{ClusterReducer, CommVolume};
+pub use scf::{distributed_scf, DistScfConfig, DistScfResult};

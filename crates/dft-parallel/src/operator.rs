@@ -1,0 +1,373 @@
+//! Distributed stiffness / Hamiltonian application with overlapped ghost
+//! exchange.
+//!
+//! One apply runs the paper's boundary/interior split (Sec. 5.4.1):
+//!
+//! 1. **post** — pack this rank's owned boundary rows and `isend` them to
+//!    every ghosting peer (nonblocking: the channel transport buffers);
+//! 2. **interior** — sum-factorized cell kernels over cells whose DoFs are
+//!    all owned, while the boundary messages are in flight;
+//! 3. **harvest** — `try_recv`-poll the ghost payloads, fill the extended
+//!    vector, and run the boundary cells;
+//! 4. **fold back** — ghost rows of the result hold partial sums belonging
+//!    to other ranks: `isend` them to their owners and accumulate the
+//!    incoming partials into owned rows *in ascending peer order*, so the
+//!    result is independent of message arrival order (deterministic runs).
+//!
+//! Wire precision is selectable per operator: the distributed SCF keeps an
+//! FP64 Hamiltonian for Rayleigh-Ritz and an FP32-wire twin for the
+//! Chebyshev filter, the paper's "FP32 boundary communication, FP64 math"
+//! scheme (Sec. 5.4.2).
+
+use crate::decomp::Decomposition;
+use dft_core::hamiltonian::HamOperator;
+use dft_fem::space::{phase_products, FeSpace};
+use dft_hpc::comm::{ThreadComm, WirePrecision};
+use dft_linalg::iterative::LinearOperator;
+use dft_linalg::matrix::Matrix;
+use dft_linalg::scalar::{Real, Scalar, C64};
+use std::sync::Mutex;
+
+/// The per-rank communicator behind a [`Mutex`], so operators that must be
+/// [`Sync`] (the [`LinearOperator`] supertrait bound) can share it. Locks
+/// are uncontended — each rank is one thread — so this costs an atomic per
+/// exchange, not a wait.
+pub struct SharedComm<'a>(pub Mutex<&'a mut ThreadComm>);
+
+impl<'a> SharedComm<'a> {
+    /// Wrap a rank's communicator for use by distributed operators.
+    pub fn new(comm: &'a mut ThreadComm) -> Self {
+        Self(Mutex::new(comm))
+    }
+
+    /// Run `f` with exclusive access to the communicator.
+    pub fn with<R>(&self, f: impl FnOnce(&mut ThreadComm) -> R) -> R {
+        let mut guard = self.0.lock().expect("comm mutex poisoned");
+        f(&mut guard)
+    }
+}
+
+/// Scalars that can cross the wire as `f64` components: `f64` is itself,
+/// [`C64`] interleaves `re, im`. (FP32 demotion happens a layer below, in
+/// [`ThreadComm::send_f64`].)
+pub trait WireScalar: Scalar {
+    /// `f64` components per scalar.
+    const COMPONENTS: usize;
+    /// Append the components of `v` to `buf`.
+    fn pack_into(v: Self, buf: &mut Vec<f64>);
+    /// Read the scalar at component offset `i * COMPONENTS`.
+    fn unpack_at(buf: &[f64], i: usize) -> Self;
+}
+
+impl WireScalar for f64 {
+    const COMPONENTS: usize = 1;
+    #[inline]
+    fn pack_into(v: Self, buf: &mut Vec<f64>) {
+        buf.push(v);
+    }
+    #[inline]
+    fn unpack_at(buf: &[f64], i: usize) -> Self {
+        buf[i]
+    }
+}
+
+impl WireScalar for C64 {
+    const COMPONENTS: usize = 2;
+    #[inline]
+    fn pack_into(v: Self, buf: &mut Vec<f64>) {
+        buf.push(v.re);
+        buf.push(v.im);
+    }
+    #[inline]
+    fn unpack_at(buf: &[f64], i: usize) -> Self {
+        C64::new(buf[2 * i], buf[2 * i + 1])
+    }
+}
+
+/// Ghost-exchange message tags, in a band far from the collectives' tags.
+const TAG_FWD: u64 = 1 << 55;
+const TAG_REV: u64 = (1 << 55) + 1;
+
+/// Poll `try_recv_f64` round-robin over `peers` until every payload has
+/// arrived; payloads are returned in the *list* order (not arrival order),
+/// which is what keeps downstream accumulation deterministic.
+fn harvest<'p>(
+    comm: &SharedComm<'_>,
+    peers: impl Iterator<Item = &'p usize>,
+    tag: u64,
+    wire: WirePrecision,
+) -> Vec<Vec<f64>> {
+    let peers: Vec<usize> = peers.copied().collect();
+    let mut got: Vec<Option<Vec<f64>>> = vec![None; peers.len()];
+    let mut remaining = peers.len();
+    while remaining > 0 {
+        comm.with(|c| {
+            for (slot, &p) in got.iter_mut().zip(peers.iter()) {
+                if slot.is_none() {
+                    if let Some(buf) = c.try_recv_f64(p, tag, wire) {
+                        *slot = Some(buf);
+                        remaining -= 1;
+                    }
+                }
+            }
+        });
+        if remaining > 0 {
+            std::thread::yield_now();
+        }
+    }
+    got.into_iter().map(|s| s.unwrap()).collect()
+}
+
+/// A partitioned FE space: one rank's slab plus its exchange machinery.
+pub struct DistSpace<'a> {
+    /// The (replicated) global FE space.
+    pub space: &'a FeSpace,
+    /// This rank's decomposition.
+    pub dec: Decomposition,
+}
+
+impl<'a> DistSpace<'a> {
+    /// Build rank `rank` of `nranks`'s view of `space`.
+    pub fn new(space: &'a FeSpace, rank: usize, nranks: usize) -> Self {
+        Self {
+            space,
+            dec: Decomposition::new(space, rank, nranks),
+        }
+    }
+
+    /// Distributed `Y = K X` on owned DoF rows (the distributed
+    /// counterpart of [`FeSpace::apply_stiffness`]): `x` and `y` are
+    /// `n_owned x ncols`.
+    pub fn apply_stiffness<T: WireScalar>(
+        &self,
+        comm: &SharedComm<'_>,
+        x: &Matrix<T>,
+        y: &mut Matrix<T>,
+        phases: [T; 3],
+        wire: WirePrecision,
+    ) {
+        self.apply_cells(comm, x, y, phases, None, wire);
+    }
+
+    /// The shared kernel: optional fused per-row `M^{-1/2}` input scaling
+    /// (indexed by *global* DoF, as in the serial fused path).
+    fn apply_cells<T: WireScalar>(
+        &self,
+        comm: &SharedComm<'_>,
+        x: &Matrix<T>,
+        y: &mut Matrix<T>,
+        phases: [T; 3],
+        row_scale: Option<&[f64]>,
+        wire: WirePrecision,
+    ) {
+        let dec = &self.dec;
+        let (n_owned, n_ext) = (dec.n_owned(), dec.n_ext());
+        let nc = x.ncols();
+        assert_eq!(x.nrows(), n_owned);
+        assert_eq!(y.shape(), (n_owned, nc));
+
+        // 1. post the owned boundary rows (raw, unscaled: the receiver owns
+        //    the same global mass diagonal and scales locally)
+        comm.with(|c| {
+            for (peer, idxs) in &dec.send_to {
+                let mut buf = Vec::with_capacity(idxs.len() * nc * T::COMPONENTS);
+                for j in 0..nc {
+                    let col = x.col(j);
+                    for &l in idxs {
+                        T::pack_into(col[l as usize], &mut buf);
+                    }
+                }
+                c.isend_f64(*peer, TAG_FWD, &buf, wire);
+            }
+        });
+
+        // extended input: owned rows (scaled) now, ghosts after harvest
+        let mut x_ext = Matrix::<T>::zeros(n_ext, nc);
+        for j in 0..nc {
+            let src = x.col(j);
+            let dst = &mut x_ext.col_mut(j)[..n_owned];
+            dst.copy_from_slice(src);
+            if let Some(s) = row_scale {
+                for (l, v) in dst.iter_mut().enumerate() {
+                    *v = v.scale(T::Re::from_f64(s[dec.owned[l] as usize]));
+                }
+            }
+        }
+        let mut y_ext = Matrix::<T>::zeros(n_ext, nc);
+
+        // 2. interior cells while boundary payloads are in flight
+        self.run_cells(&dec.interior_cells, &x_ext, &mut y_ext, phases);
+
+        // 3. harvest ghosts, then the boundary cells
+        let bufs = harvest(comm, dec.recv_from.iter().map(|(p, _)| p), TAG_FWD, wire);
+        for ((_, idxs), buf) in dec.recv_from.iter().zip(bufs.iter()) {
+            assert_eq!(buf.len(), idxs.len() * nc * T::COMPONENTS);
+            for j in 0..nc {
+                let col = x_ext.col_mut(j);
+                for (k, &l) in idxs.iter().enumerate() {
+                    let mut v = T::unpack_at(buf, j * idxs.len() + k);
+                    if let Some(s) = row_scale {
+                        let g = dec.ghosts[l as usize - n_owned] as usize;
+                        v = v.scale(T::Re::from_f64(s[g]));
+                    }
+                    col[l as usize] = v;
+                }
+            }
+        }
+        self.run_cells(&dec.boundary_cells, &x_ext, &mut y_ext, phases);
+
+        // 4. fold ghost partial sums back to their owners; accumulate the
+        //    incoming partials in ascending peer order (deterministic)
+        comm.with(|c| {
+            for (peer, idxs) in &dec.recv_from {
+                let mut buf = Vec::with_capacity(idxs.len() * nc * T::COMPONENTS);
+                for j in 0..nc {
+                    let col = y_ext.col(j);
+                    for &l in idxs {
+                        T::pack_into(col[l as usize], &mut buf);
+                    }
+                }
+                c.isend_f64(*peer, TAG_REV, &buf, wire);
+            }
+        });
+        let bufs = harvest(comm, dec.send_to.iter().map(|(p, _)| p), TAG_REV, wire);
+        for ((_, idxs), buf) in dec.send_to.iter().zip(bufs.iter()) {
+            assert_eq!(buf.len(), idxs.len() * nc * T::COMPONENTS);
+            for j in 0..nc {
+                let col = y_ext.col_mut(j);
+                for (k, &l) in idxs.iter().enumerate() {
+                    col[l as usize] += T::unpack_at(buf, j * idxs.len() + k);
+                }
+            }
+        }
+        for j in 0..nc {
+            y.col_mut(j).copy_from_slice(&y_ext.col(j)[..n_owned]);
+        }
+    }
+
+    /// Gather-kernel-scatter over the given slab-local cells, column-
+    /// parallel (columns are independent, so the rayon split cannot change
+    /// any accumulation order).
+    fn run_cells<T: Scalar>(
+        &self,
+        cells: &[u32],
+        x_ext: &Matrix<T>,
+        y_ext: &mut Matrix<T>,
+        phases: [T; 3],
+    ) {
+        use rayon::prelude::*;
+        let space = self.space;
+        let dec = &self.dec;
+        let nloc = space.nloc();
+        let n_ext = dec.n_ext();
+        let gather_tab = phase_products(phases, false);
+        let scatter_tab = phase_products(phases, true);
+        y_ext
+            .as_mut_slice()
+            .par_chunks_mut(n_ext)
+            .zip(x_ext.as_slice().par_chunks(n_ext))
+            .for_each(|(ycol, xcol)| {
+                let mut x_loc = vec![T::ZERO; nloc];
+                let mut y_loc = vec![T::ZERO; nloc];
+                for &lc in cells {
+                    let ci = dec.range.start + lc as usize;
+                    let tab = &dec.cell_dof_local[lc as usize * nloc..(lc as usize + 1) * nloc];
+                    let wraps = space.cell_wraps(ci);
+                    for l in 0..nloc {
+                        let d = tab[l];
+                        let mut v = if d >= 0 { xcol[d as usize] } else { T::ZERO };
+                        if wraps[l] != 0 {
+                            v *= gather_tab[wraps[l] as usize];
+                        }
+                        x_loc[l] = v;
+                    }
+                    y_loc.fill(T::ZERO);
+                    space.cell_stiffness_apply(space.cells()[ci].h, &x_loc, &mut y_loc);
+                    for l in 0..nloc {
+                        let d = tab[l];
+                        if d >= 0 {
+                            let mut v = y_loc[l];
+                            if wraps[l] != 0 {
+                                v *= scatter_tab[wraps[l] as usize];
+                            }
+                            ycol[d as usize] += v;
+                        }
+                    }
+                }
+            });
+    }
+}
+
+/// The distributed Kohn-Sham Hamiltonian: the owner of this rank's owned
+/// DoF rows of `Hhat = 1/2 M^{-1/2} K M^{-1/2} + diag(v_eff)`.
+pub struct DistHamiltonian<'a, 'c, T: Scalar> {
+    dist: &'a DistSpace<'a>,
+    comm: &'a SharedComm<'c>,
+    /// Effective potential at owned DoFs.
+    v_eff_owned: Vec<f64>,
+    /// Bloch phases per axis.
+    pub phases: [T; 3],
+    wire: WirePrecision,
+}
+
+impl<'a, 'c, T: WireScalar> DistHamiltonian<'a, 'c, T> {
+    /// Build from the replicated full nodal effective potential.
+    pub fn new(
+        dist: &'a DistSpace<'a>,
+        comm: &'a SharedComm<'c>,
+        v_eff_nodes: &[f64],
+        phases: [T; 3],
+        wire: WirePrecision,
+    ) -> Self {
+        assert_eq!(v_eff_nodes.len(), dist.space.nnodes());
+        let v_eff_owned = dist
+            .dec
+            .owned
+            .iter()
+            .map(|&d| v_eff_nodes[dist.space.node_of_dof(d as usize)])
+            .collect();
+        Self {
+            dist,
+            comm,
+            v_eff_owned,
+            phases,
+            wire,
+        }
+    }
+}
+
+impl<'a, 'c, T: WireScalar> LinearOperator<T> for DistHamiltonian<'a, 'c, T> {
+    fn dim(&self) -> usize {
+        self.dist.dec.n_owned()
+    }
+
+    fn apply(&self, x: &Matrix<T>, y: &mut Matrix<T>) {
+        let dec = &self.dist.dec;
+        let s = self.dist.space.inv_sqrt_mass();
+        // y = K M^{-1/2} x on owned rows (input scaling fused, as serial)
+        self.dist
+            .apply_cells(self.comm, x, y, self.phases, Some(s), self.wire);
+        // y = 1/2 M^{-1/2} y + v x
+        for j in 0..y.ncols() {
+            let xcol = x.col(j);
+            let ycol = y.col_mut(j);
+            for (l, (yv, &xv)) in ycol.iter_mut().zip(xcol.iter()).enumerate() {
+                let si = s[dec.owned[l] as usize];
+                *yv = yv.scale(T::Re::from_f64(0.5 * si))
+                    + xv.scale(T::Re::from_f64(self.v_eff_owned[l]));
+            }
+        }
+    }
+}
+
+impl<'a, 'c, T: WireScalar> HamOperator<T> for DistHamiltonian<'a, 'c, T> {
+    /// Rank-local analytic FLOPs: the slab's share of the sum-factorized
+    /// cell work plus the owned rows' scaling/potential arithmetic.
+    fn apply_flops(&self, ncols: usize) -> u64 {
+        let space = self.dist.space;
+        let dec = &self.dist.dec;
+        let per_cell_cols = space.stiffness_apply_flops::<T>(ncols) / space.cells().len() as u64;
+        per_cell_cols * dec.range.len() as u64
+            + (dec.n_owned() * ncols) as u64 * (3 * T::MUL_FLOPS + T::ADD_FLOPS)
+    }
+}

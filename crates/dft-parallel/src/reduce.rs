@@ -1,0 +1,106 @@
+//! Cross-rank subspace reductions and communication-volume reporting.
+//!
+//! [`ClusterReducer`] plugs the threaded communicator into
+//! [`dft_core::chfes_reduced`]'s [`SubspaceReducer`] hooks: the `N x N`
+//! overlap / projected-Hamiltonian matrices computed from each rank's owned
+//! wavefunction rows are summed with `allreduce_sum_f64`, which gathers in
+//! rank order and broadcasts identical bytes — so every rank factorizes and
+//! diagonalizes the *same* matrix, bit for bit. Reductions always travel in
+//! FP64: the paper's FP32 trick applies only to the boundary ghost exchange,
+//! never to the subspace algebra that controls the final accuracy.
+
+use crate::operator::{SharedComm, WireScalar};
+use dft_core::chebyshev::SubspaceReducer;
+use dft_hpc::comm::WirePrecision;
+use dft_linalg::matrix::Matrix;
+
+/// [`SubspaceReducer`] over a [`SharedComm`]: allreduce-sum in FP64.
+pub struct ClusterReducer<'a, 'c> {
+    comm: &'a SharedComm<'c>,
+}
+
+impl<'a, 'c> ClusterReducer<'a, 'c> {
+    /// Wrap a shared communicator.
+    pub fn new(comm: &'a SharedComm<'c>) -> Self {
+        Self { comm }
+    }
+}
+
+impl<'a, 'c, T: WireScalar> SubspaceReducer<T> for ClusterReducer<'a, 'c> {
+    fn reduce_matrix(&self, m: &mut Matrix<T>) {
+        let n = m.as_slice().len();
+        let mut buf = Vec::with_capacity(n * T::COMPONENTS);
+        for &v in m.as_slice() {
+            T::pack_into(v, &mut buf);
+        }
+        self.comm
+            .with(|c| c.allreduce_sum_f64(&mut buf, WirePrecision::Fp64));
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = T::unpack_at(&buf, i);
+        }
+    }
+
+    fn reduce_f64(&self, v: &mut [f64]) {
+        self.comm
+            .with(|c| c.allreduce_sum_f64(v, WirePrecision::Fp64));
+    }
+
+    fn is_distributed(&self) -> bool {
+        true
+    }
+}
+
+/// Communication volume from [`CommStats`](dft_hpc::CommStats) snapshots.
+/// [`run_cluster`](dft_hpc::run_cluster) shares one counter set across all
+/// ranks, so a snapshot reads *cluster-wide* totals; the difference of two
+/// snapshots brackets a phase (up to traffic from ranks still in flight at
+/// snapshot time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommVolume {
+    /// Total wire bytes sent by this rank.
+    pub bytes_total: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Bytes sent at FP64 wire precision.
+    pub bytes_fp64: u64,
+    /// Bytes sent at FP32 wire precision.
+    pub bytes_fp32: u64,
+}
+
+impl CommVolume {
+    /// Snapshot a communicator's counters.
+    pub fn snapshot(comm: &SharedComm<'_>) -> Self {
+        comm.with(|c| {
+            let (bytes_total, messages, bytes_fp64, bytes_fp32) = c.stats().snapshot();
+            Self {
+                bytes_total,
+                messages,
+                bytes_fp64,
+                bytes_fp32,
+            }
+        })
+    }
+
+    /// Read a [`CommStats`](dft_hpc::CommStats) directly (e.g. the handle
+    /// [`run_cluster`](dft_hpc::run_cluster) returns after the run, which
+    /// holds the authoritative cluster totals).
+    pub fn from_stats(stats: &dft_hpc::CommStats) -> Self {
+        let (bytes_total, messages, bytes_fp64, bytes_fp32) = stats.snapshot();
+        Self {
+            bytes_total,
+            messages,
+            bytes_fp64,
+            bytes_fp32,
+        }
+    }
+
+    /// Volume accrued between two snapshots (`later - self`).
+    pub fn delta(&self, later: &CommVolume) -> CommVolume {
+        CommVolume {
+            bytes_total: later.bytes_total - self.bytes_total,
+            messages: later.messages - self.messages,
+            bytes_fp64: later.bytes_fp64 - self.bytes_fp64,
+            bytes_fp32: later.bytes_fp32 - self.bytes_fp32,
+        }
+    }
+}

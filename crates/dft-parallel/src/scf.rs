@@ -1,0 +1,466 @@
+//! The distributed-memory SCF driver.
+//!
+//! The data decomposition follows the paper's hierarchy at miniature scale:
+//! wavefunction blocks are sharded by owned DoF rows across ranks, while the
+//! *nodal* fields (density, potentials) are replicated — every rank carries
+//! the full `rho`, `v_eff`, and Poisson solution, recomputed identically
+//! from identical inputs, so those steps need no communication at all. The
+//! communication in one SCF iteration is exactly:
+//!
+//! * ghost-DoF exchange inside every distributed Hamiltonian apply
+//!   (overlapped with interior compute, wire precision selectable);
+//! * `allreduce` of the dense subspace matrices in CholGS / Rayleigh-Ritz
+//!   via [`ClusterReducer`] (always FP64);
+//! * one `allreduce` of the partial density built from owned rows;
+//! * one `m x m` Gram `allreduce` inside Anderson mixing, whose weights are
+//!   masked to owned nodes so the summed Gram equals the serial one.
+//!
+//! Every collective leaves bit-identical bytes on all ranks, and all
+//! accumulation orders are fixed by rank (never by message arrival), so two
+//! runs at the same rank count produce bit-identical energies — and every
+//! rank of one run agrees on every replicated quantity to the last bit.
+
+use crate::decomp::Decomposition;
+use crate::operator::{DistHamiltonian, DistSpace, SharedComm, WireScalar};
+use crate::reduce::{ClusterReducer, CommVolume};
+use dft_core::chebyshev::{chfes_reduced, lanczos_bounds, random_subspace, ChfesOptions};
+use dft_core::hamiltonian::KsHamiltonian;
+use dft_core::mixing::AndersonMixer;
+use dft_core::occupation::fermi_occupations;
+use dft_core::scf::{KPoint, ScfConfig, TotalEnergy};
+use dft_core::system::AtomicSystem;
+use dft_core::xc::{evaluate_xc, XcFunctional};
+use dft_fem::field::NodalField;
+use dft_fem::mesh::BoundaryCondition;
+use dft_fem::poisson::{solve_poisson, PoissonBc};
+use dft_fem::space::FeSpace;
+use dft_hpc::comm::{ThreadComm, WirePrecision};
+use dft_hpc::profile::{Phase, PhaseScope, Profile, ScfProfile};
+use dft_linalg::matrix::Matrix;
+use dft_linalg::scalar::{Real, C64};
+
+/// Distributed SCF configuration: the serial knobs plus the wire precision
+/// of the Chebyshev-filter ghost exchange (the paper's Sec. 5.4.2 trick —
+/// CholGS/RR reductions and all collectives stay FP64 regardless).
+#[derive(Clone, Debug)]
+pub struct DistScfConfig {
+    /// The serial SCF knobs, applied unchanged.
+    pub base: ScfConfig,
+    /// Wire precision of the boundary exchange during Chebyshev filtering.
+    pub wire: WirePrecision,
+}
+
+impl Default for DistScfConfig {
+    fn default() -> Self {
+        Self {
+            base: ScfConfig::default(),
+            wire: WirePrecision::Fp64,
+        }
+    }
+}
+
+/// One rank's outcome of a distributed SCF. Replicated quantities (energy,
+/// eigenvalues, occupations, density, convergence) are bit-identical across
+/// the ranks of a run; `profile` and `comm` are per-rank.
+pub struct DistScfResult {
+    /// This rank.
+    pub rank: usize,
+    /// Ranks in the run.
+    pub nranks: usize,
+    /// Energy decomposition (replicated).
+    pub energy: TotalEnergy,
+    /// Eigenvalues per k-point, ascending (replicated).
+    pub eigenvalues: Vec<Vec<f64>>,
+    /// Occupations per k-point (replicated).
+    pub occupations: Vec<Vec<f64>>,
+    /// Chemical potential (replicated).
+    pub mu: f64,
+    /// Converged electron density, full nodal field (replicated).
+    pub density: NodalField,
+    /// Final effective potential (replicated).
+    pub v_eff: Vec<f64>,
+    /// SCF iterations performed.
+    pub iterations: usize,
+    /// Whether the density residual met the tolerance.
+    pub converged: bool,
+    /// Residual per iteration (replicated).
+    pub residual_history: Vec<f64>,
+    /// This rank's per-phase profile (`Some` iff `base.profile`).
+    pub profile: Option<ScfProfile>,
+    /// Cluster-wide communication volume accrued over this rank's SCF loop
+    /// (the [`run_cluster`](dft_hpc::run_cluster) counters are shared).
+    pub comm: CommVolume,
+}
+
+/// Run the distributed SCF on this rank's communicator. Call from every
+/// rank of a [`dft_hpc::run_cluster`] with identical arguments; dispatches
+/// to the real (Γ-only) or complex (Bloch) scalar path like
+/// [`dft_core::scf::scf`].
+pub fn distributed_scf(
+    comm: &mut ThreadComm,
+    space: &FeSpace,
+    system: &AtomicSystem,
+    xc: &dyn XcFunctional,
+    cfg: &DistScfConfig,
+    kpts: &[KPoint],
+) -> DistScfResult {
+    let gamma_only = kpts.len() == 1 && kpts[0].is_gamma();
+    if gamma_only {
+        dist_scf_impl::<f64>(comm, space, system, xc, cfg, kpts)
+    } else {
+        dist_scf_impl::<C64>(comm, space, system, xc, cfg, kpts)
+    }
+}
+
+/// Object-safe imaginary-unit shim (mirrors the private one in
+/// `dft_core::scf`, which is deliberately not exported).
+trait ScalarExt: WireScalar {
+    fn imag() -> Self;
+}
+impl ScalarExt for f64 {
+    fn imag() -> Self {
+        panic!("no imaginary unit in f64")
+    }
+}
+impl ScalarExt for C64 {
+    fn imag() -> Self {
+        C64::I
+    }
+}
+
+/// Bloch phases `e^{i 2 pi f_d}` for k-point `k` (as in `dft_core::scf`).
+fn phases_for<T: ScalarExt>(space: &FeSpace, k: &KPoint) -> [T; 3] {
+    let mut ph = [T::ONE; 3];
+    for d in 0..3 {
+        if space.mesh.axes[d].bc() == BoundaryCondition::Periodic && k.frac[d] != 0.0 {
+            let theta = 2.0 * std::f64::consts::PI * k.frac[d];
+            if T::IS_COMPLEX {
+                ph[d] = T::from_f64(theta.cos())
+                    + T::imag().scale(<T::Re as Real>::from_f64(theta.sin()));
+            } else {
+                let c = theta.cos().round();
+                assert!(
+                    (theta.sin()).abs() < 1e-12 && (c.abs() - 1.0).abs() < 1e-12,
+                    "real path supports only Γ / zone-boundary k-points"
+                );
+                ph[d] = T::from_f64(c);
+            }
+        }
+    }
+    ph
+}
+
+fn poisson_flops(space: &FeSpace, cg_iterations: usize) -> u64 {
+    cg_iterations as u64 * (space.stiffness_apply_flops::<f64>(1) + 10 * space.ndofs() as u64)
+}
+
+fn poisson_bytes(space: &FeSpace, cg_iterations: usize) -> u64 {
+    cg_iterations as u64 * 10 * space.ndofs() as u64 * std::mem::size_of::<f64>() as u64
+}
+
+fn poisson_bc_of(space: &FeSpace) -> PoissonBc<'static> {
+    let all_periodic = space
+        .mesh
+        .axes
+        .iter()
+        .all(|a| a.bc() == BoundaryCondition::Periodic);
+    if all_periodic {
+        PoissonBc::Periodic
+    } else {
+        PoissonBc::Dirichlet(&|_| 0.0)
+    }
+}
+
+fn dist_scf_impl<T: ScalarExt>(
+    comm: &mut ThreadComm,
+    space: &FeSpace,
+    system: &AtomicSystem,
+    xc: &dyn XcFunctional,
+    cfg: &DistScfConfig,
+    kpts: &[KPoint],
+) -> DistScfResult {
+    let (rank, nranks) = (comm.rank(), comm.size());
+    let base = &cfg.base;
+    let nd = space.ndofs();
+    let n_el = system.n_electrons();
+    assert!(
+        base.n_states * 2 >= n_el.ceil() as usize,
+        "not enough states"
+    );
+    assert!(base.n_states <= nd, "more states than DoFs");
+    let wsum: f64 = kpts.iter().map(|k| k.weight).sum();
+    assert!((wsum - 1.0).abs() < 1e-10, "k-point weights must sum to 1");
+
+    let shared = SharedComm::new(comm);
+    let dist = DistSpace::new(space, rank, nranks);
+    let dec = &dist.dec;
+    let reducer = ClusterReducer::new(&shared);
+    let comm_start = CommVolume::snapshot(&shared);
+
+    let rho_ion = system.ion_density(space);
+    let mut rho_in = system.initial_density(space);
+    // Anderson weights masked to owned nodes: each rank's weighted dots are
+    // partial sums, and the Gram allreduce reassembles the serial Gram
+    let masked_weights: Vec<f64> = space
+        .mass_diag()
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| if dec.owned_node[i] { w } else { 0.0 })
+        .collect();
+    let mut mixer = AndersonMixer::new(base.mixing_alpha, base.anderson_depth, masked_weights);
+    let reduce_gram = |b: &mut [f64]| shared.with(|c| c.allreduce_sum_f64(b, WirePrecision::Fp64));
+
+    // per-k state: every rank draws the identical full random subspace and
+    // keeps its owned rows — sharding without a scatter
+    let mut psi: Vec<Matrix<T>> = (0..kpts.len())
+        .map(|ik| {
+            let full = random_subspace::<T>(nd, base.n_states, base.seed + ik as u64);
+            let mut local = Matrix::<T>::zeros(dec.n_owned(), base.n_states);
+            for j in 0..base.n_states {
+                let src = full.col(j);
+                for (l, dst) in local.col_mut(j).iter_mut().enumerate() {
+                    *dst = src[dec.owned[l] as usize];
+                }
+            }
+            local
+        })
+        .collect();
+    let mut filter_window: Vec<Option<(f64, f64)>> = vec![None; kpts.len()];
+
+    let mut result_energy = TotalEnergy::default();
+    let mut eigenvalues: Vec<Vec<f64>> = vec![vec![]; kpts.len()];
+    let mut occupations: Vec<Vec<f64>> = vec![vec![]; kpts.len()];
+    let mut mu = 0.0;
+    let mut v_eff = vec![0.0; space.nnodes()];
+    let mut residual_history = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+    let mut rho_out = rho_in.clone();
+    let e_ii_corr = system.ion_ion_correction(space);
+    let kweights: Vec<f64> = kpts.iter().map(|k| k.weight).collect();
+
+    let profile_store = base.profile.then(Profile::new);
+    let profile = profile_store.as_ref();
+
+    for iter in 0..base.max_iter {
+        iterations = iter + 1;
+        if let Some(p) = profile {
+            p.begin_iteration();
+        }
+        // ---- effective potential from rho_in (replicated, no comm) -----
+        let rho_charge: Vec<f64> = (0..space.nnodes())
+            .map(|i| rho_ion[i] - rho_in[i])
+            .collect();
+        let (phi, pst) = {
+            let mut scope = PhaseScope::new(profile, Phase::Ep);
+            let r = solve_poisson(
+                space,
+                &rho_charge,
+                poisson_bc_of(space),
+                base.poisson_tol,
+                20000,
+            );
+            scope.add_flops(poisson_flops(space, r.1.iterations));
+            scope.add_bytes(poisson_bytes(space, r.1.iterations));
+            r
+        };
+        assert!(pst.converged, "Poisson solve failed at SCF iter {iter}");
+        {
+            let _scope = PhaseScope::new(profile, Phase::Dh);
+            let rho_in_field = NodalField::from_values(space, rho_in.clone());
+            let xce = evaluate_xc(space, &rho_in_field, xc);
+            for i in 0..space.nnodes() {
+                v_eff[i] = -phi[i] + xce.vxc[i];
+            }
+        }
+
+        // ---- distributed eigenproblem per k-point ----------------------
+        for (ik, k) in kpts.iter().enumerate() {
+            let ph = phases_for::<T>(space, k);
+            // spectral bounds from the replicated serial operator: pure
+            // local recomputation, bit-identical on every rank, no comm
+            let (tmin, tmax) = {
+                let _scope = PhaseScope::new(profile, Phase::Other);
+                let h_full = KsHamiltonian::<T>::new(space, &v_eff, ph);
+                lanczos_bounds(&h_full, 10, base.seed + 1000 + ik as u64)
+            };
+            // FP64 operator for CholGS/RR; the filter twin carries the
+            // configured (possibly FP32) boundary wire
+            let h = DistHamiltonian::<T>::new(&dist, &shared, &v_eff, ph, WirePrecision::Fp64);
+            let h_filter = DistHamiltonian::<T>::new(&dist, &shared, &v_eff, ph, cfg.wire);
+            let passes = if iter == 0 {
+                base.first_iter_cf_passes
+            } else {
+                1
+            };
+            let opts = ChfesOptions {
+                cheb_degree: base.cheb_degree,
+                block_size: base.block_size,
+                mixed_precision: base.mixed_precision,
+            };
+            let (mut a0, mut a) =
+                filter_window[ik].unwrap_or((tmin - 1.0, tmin + 0.1 * (tmax - tmin)));
+            a0 = a0.min(tmin - 1.0);
+            a = a.clamp(a0 + 1e-3 * (tmax - a0), 0.9 * tmax);
+            let mut evals = vec![];
+            for _ in 0..passes {
+                evals = chfes_reduced(
+                    &h,
+                    Some(&h_filter),
+                    &mut psi[ik],
+                    (a0, a, tmax),
+                    &opts,
+                    profile,
+                    &reducer,
+                );
+                let top = evals[base.n_states - 1];
+                let spread = (top - evals[0]).max(0.1);
+                let gap = (2.0 * base.kt).max(spread / base.n_states as f64);
+                a = (top + gap).min(0.9 * tmax);
+                a0 = evals[0] - 1.0;
+            }
+            filter_window[ik] = Some((a0, a));
+            eigenvalues[ik] = evals;
+        }
+
+        // ---- occupations & density -------------------------------------
+        let occ = {
+            let _scope = PhaseScope::new(profile, Phase::Other);
+            fermi_occupations(&eigenvalues, &kweights, n_el, base.kt)
+        };
+        mu = occ.mu;
+        occupations = occ.occupations.clone();
+
+        {
+            let mut scope = PhaseScope::new(profile, Phase::Dc);
+            rho_out = vec![0.0; space.nnodes()];
+            let s = space.inv_sqrt_mass();
+            for ik in 0..kpts.len() {
+                let w = kpts[ik].weight;
+                for i in 0..base.n_states {
+                    let f = occupations[ik][i];
+                    if f < 1e-14 {
+                        continue;
+                    }
+                    scope.add_flops(dec.n_owned() as u64 * (T::MUL_FLOPS + 4));
+                    scope.add_bytes(dec.n_owned() as u64 * std::mem::size_of::<T>() as u64);
+                    let col = psi[ik].col(i);
+                    for (l, &v) in col.iter().enumerate() {
+                        let d = dec.owned[l] as usize;
+                        let amp = v.abs_sq().to_f64() * s[d] * s[d];
+                        rho_out[space.node_of_dof(d)] += w * f * amp;
+                    }
+                }
+            }
+            // owned DoF rows partition the serial sum: one allreduce
+            // replicates the full density on every rank
+            shared.with(|c| c.allreduce_sum_f64(&mut rho_out, WirePrecision::Fp64));
+        }
+
+        // ---- total energy (replicated recomputation) --------------------
+        let (band, rho_veff, rho_charge_out) = {
+            let _scope = PhaseScope::new(profile, Phase::Other);
+            let band: f64 = (0..kpts.len())
+                .map(|ik| -> f64 {
+                    kpts[ik].weight
+                        * eigenvalues[ik]
+                            .iter()
+                            .zip(&occupations[ik])
+                            .map(|(&e, &f)| e * f)
+                            .sum::<f64>()
+                })
+                .sum();
+            let rho_veff: f64 = space.integrate(
+                &(0..space.nnodes())
+                    .map(|i| rho_out[i] * v_eff[i])
+                    .collect::<Vec<_>>(),
+            );
+            let rho_charge_out: Vec<f64> = (0..space.nnodes())
+                .map(|i| rho_ion[i] - rho_out[i])
+                .collect();
+            (band, rho_veff, rho_charge_out)
+        };
+        let kinetic = band - rho_veff;
+        let (phi_out, _pst_out) = {
+            let mut scope = PhaseScope::new(profile, Phase::Ep);
+            let r = solve_poisson(
+                space,
+                &rho_charge_out,
+                poisson_bc_of(space),
+                base.poisson_tol,
+                20000,
+            );
+            scope.add_flops(poisson_flops(space, r.1.iterations));
+            scope.add_bytes(poisson_bytes(space, r.1.iterations));
+            r
+        };
+        let xc_out = {
+            let _scope = PhaseScope::new(profile, Phase::Dh);
+            let rho_out_field = NodalField::from_values(space, rho_out.clone());
+            evaluate_xc(space, &rho_out_field, xc)
+        };
+        let residual = {
+            let _scope = PhaseScope::new(profile, Phase::Other);
+            let e_es_gauss = 0.5
+                * space.integrate(
+                    &(0..space.nnodes())
+                        .map(|i| rho_charge_out[i] * phi_out[i])
+                        .collect::<Vec<_>>(),
+                );
+            let electrostatic = e_es_gauss + e_ii_corr;
+            let total = kinetic + electrostatic + xc_out.energy;
+            let entropy_term = -base.kt * occ.entropy;
+            result_energy = TotalEnergy {
+                band,
+                kinetic,
+                electrostatic,
+                xc: xc_out.energy,
+                entropy_term,
+                total,
+                free_energy: total + entropy_term,
+            };
+            let diff: Vec<f64> = (0..space.nnodes())
+                .map(|i| (rho_out[i] - rho_in[i]).powi(2))
+                .collect();
+            space.integrate(&diff).sqrt() / n_el
+        };
+        residual_history.push(residual);
+        if base.verbose && rank == 0 {
+            println!(
+                "dSCF {iter:3} [{nranks}r]  E = {:+.8} Ha   resid = {residual:.3e}   mu = {mu:+.4}",
+                result_energy.free_energy
+            );
+        }
+        if residual < base.tol {
+            converged = true;
+            break;
+        }
+        {
+            let _scope = PhaseScope::new(profile, Phase::Other);
+            rho_in = mixer.mix_with(&rho_in, &rho_out, &reduce_gram);
+        }
+    }
+
+    let comm_vol = comm_start.delta(&CommVolume::snapshot(&shared));
+    DistScfResult {
+        rank,
+        nranks,
+        energy: result_energy,
+        eigenvalues,
+        occupations,
+        mu,
+        density: NodalField::from_values(space, rho_out),
+        v_eff,
+        iterations,
+        converged,
+        residual_history,
+        profile: profile_store.map(|p| p.finish(None)),
+        comm: comm_vol,
+    }
+}
+
+/// A `Decomposition` accessor for callers that want the sharding of a
+/// finished run (e.g. benchmarks reporting rows per rank).
+pub fn decomposition_of(space: &FeSpace, rank: usize, nranks: usize) -> Decomposition {
+    Decomposition::new(space, rank, nranks)
+}

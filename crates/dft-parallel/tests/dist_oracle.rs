@@ -1,0 +1,262 @@
+//! Oracle tests for the distributed solver: every distributed kernel is
+//! checked against its serial counterpart on the same golden systems as
+//! `dft-fem/tests/golden_stiffness.rs` (periodic, Bloch-phase, Dirichlet),
+//! plus run-to-run bit-determinism and SCF energy parity.
+
+use dft_core::chebyshev::{chebyshev_filter, lanczos_bounds};
+use dft_core::hamiltonian::KsHamiltonian;
+use dft_core::scf::{scf, KPoint, ScfConfig};
+use dft_core::system::{Atom, AtomKind, AtomicSystem};
+use dft_core::xc::Lda;
+use dft_fem::mesh::Mesh3d;
+use dft_fem::space::FeSpace;
+use dft_hpc::comm::{run_cluster, WirePrecision};
+use dft_linalg::matrix::Matrix;
+use dft_linalg::scalar::{Real, Scalar, C64};
+use dft_parallel::{distributed_scf, DistScfConfig, DistSpace, SharedComm, WireScalar};
+
+/// Restrict the rows of a replicated full-DoF block to a rank's owned rows.
+fn restrict_rows<T: Scalar>(dist: &DistSpace<'_>, full: &Matrix<T>) -> Matrix<T> {
+    let mut local = Matrix::<T>::zeros(dist.dec.n_owned(), full.ncols());
+    for j in 0..full.ncols() {
+        let src = full.col(j);
+        for (l, dst) in local.col_mut(j).iter_mut().enumerate() {
+            *dst = src[dist.dec.owned[l] as usize];
+        }
+    }
+    local
+}
+
+/// Max |y_local - y_ref[owned rows]| over all owned rows and columns.
+fn max_err_vs_owned<T: Scalar>(dist: &DistSpace<'_>, local: &Matrix<T>, full: &Matrix<T>) -> f64 {
+    let mut err: f64 = 0.0;
+    for j in 0..full.ncols() {
+        let (lc, fc) = (local.col(j), full.col(j));
+        for (l, &v) in lc.iter().enumerate() {
+            let d = dist.dec.owned[l] as usize;
+            err = err.max((v - fc[d]).abs_sq().to_f64().sqrt());
+        }
+    }
+    err
+}
+
+/// Run the distributed stiffness apply at `nranks` and compare every rank's
+/// owned rows against the serial `Y = K X`.
+fn check_apply_oracle<T: WireScalar>(
+    space: &FeSpace,
+    x: &Matrix<T>,
+    phases: [T; 3],
+    nranks: usize,
+) {
+    let mut y_ref = Matrix::<T>::zeros(x.nrows(), x.ncols());
+    space.apply_stiffness(x, &mut y_ref, phases);
+    let (errs, _) = run_cluster(nranks, |comm| {
+        let dist = DistSpace::new(space, comm.rank(), comm.size());
+        let shared = SharedComm::new(comm);
+        let x_local = restrict_rows(&dist, x);
+        let mut y_local = Matrix::<T>::zeros(dist.dec.n_owned(), x.ncols());
+        dist.apply_stiffness(&shared, &x_local, &mut y_local, phases, WirePrecision::Fp64);
+        max_err_vs_owned(&dist, &y_local, &y_ref)
+    });
+    for (r, e) in errs.iter().enumerate() {
+        assert!(e <= &1e-12, "rank {r}/{nranks}: apply error {e:.3e}");
+    }
+}
+
+#[test]
+fn distributed_apply_matches_serial_periodic() {
+    let space = FeSpace::new(Mesh3d::periodic_cube(2, 4.0, 3));
+    let x = Matrix::<f64>::from_fn(space.ndofs(), 2, |i, j| {
+        ((i * 7 + j * 29) as f64 * 0.37).sin()
+    });
+    for nranks in [2, 4] {
+        check_apply_oracle(&space, &x, [1.0; 3], nranks);
+    }
+}
+
+#[test]
+fn distributed_apply_matches_serial_bloch() {
+    let space = FeSpace::new(Mesh3d::periodic_cube(2, 4.0, 3));
+    let phases = [C64::cis(0.7), C64::cis(-0.3), C64::ONE];
+    let x = Matrix::<C64>::from_fn(space.ndofs(), 2, |i, j| {
+        C64::new(
+            ((i * 5 + j * 3) as f64 * 0.3).sin(),
+            ((i * 11 + j) as f64 * 0.2).cos(),
+        )
+    });
+    for nranks in [2, 4] {
+        check_apply_oracle(&space, &x, phases, nranks);
+    }
+}
+
+#[test]
+fn distributed_apply_matches_serial_dirichlet() {
+    let space = FeSpace::new(Mesh3d::cube(2, 4.0, 3));
+    let x = Matrix::<f64>::from_fn(space.ndofs(), 1, |i, _| ((i * 13) as f64 * 0.19).cos());
+    for nranks in [2, 4] {
+        check_apply_oracle(&space, &x, [1.0; 3], nranks);
+    }
+}
+
+#[test]
+fn distributed_chebyshev_filter_matches_serial() {
+    let space = FeSpace::new(Mesh3d::periodic_cube(2, 4.0, 3));
+    let v_eff: Vec<f64> = (0..space.nnodes())
+        .map(|i| 0.3 * (i as f64 * 0.05).sin())
+        .collect();
+    let h_ref = KsHamiltonian::<f64>::new(&space, &v_eff, [1.0; 3]);
+    let (tmin, tmax) = lanczos_bounds(&h_ref, 10, 7);
+    let (m, a, b, a0) = (8, tmin + 0.2 * (tmax - tmin), tmax, tmin - 1.0);
+
+    let mut x_ref = Matrix::<f64>::from_fn(space.ndofs(), 3, |i, j| {
+        ((i * 3 + j * 17) as f64 * 0.23).sin()
+    });
+    let x0 = x_ref.clone();
+    chebyshev_filter(&h_ref, &mut x_ref, m, a, b, a0);
+
+    for nranks in [2, 4] {
+        let (errs, _) = run_cluster(nranks, |comm| {
+            let dist = DistSpace::new(&space, comm.rank(), comm.size());
+            let shared = SharedComm::new(comm);
+            let h = dft_parallel::DistHamiltonian::<f64>::new(
+                &dist,
+                &shared,
+                &v_eff,
+                [1.0; 3],
+                WirePrecision::Fp64,
+            );
+            let mut x_local = restrict_rows(&dist, &x0);
+            chebyshev_filter(&h, &mut x_local, m, a, b, a0);
+            max_err_vs_owned(&dist, &x_local, &x_ref)
+        });
+        for (r, e) in errs.iter().enumerate() {
+            assert!(e <= &1e-12, "rank {r}/{nranks}: filter error {e:.3e}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SCF-level parity and determinism
+// ---------------------------------------------------------------------------
+
+fn parity_system() -> (FeSpace, AtomicSystem) {
+    let space = FeSpace::new(Mesh3d::periodic_cube(2, 6.0, 3));
+    let sys = AtomicSystem::new(vec![Atom {
+        kind: AtomKind::Pseudo { z: 2.0, r_c: 0.8 },
+        pos: [3.0, 3.0, 3.0],
+    }]);
+    (space, sys)
+}
+
+fn parity_cfg() -> ScfConfig {
+    ScfConfig {
+        n_states: 4,
+        kt: 0.02,
+        tol: 1e-6,
+        max_iter: 60,
+        cheb_degree: 30,
+        first_iter_cf_passes: 5,
+        ..ScfConfig::default()
+    }
+}
+
+#[test]
+fn distributed_scf_matches_serial_energy() {
+    let (space, sys) = parity_system();
+    let cfg = parity_cfg();
+    let r_ser = scf(&space, &sys, &Lda, &cfg, &[KPoint::gamma()]);
+    assert!(r_ser.converged);
+    let dcfg = DistScfConfig {
+        base: cfg,
+        wire: WirePrecision::Fp64,
+    };
+    for nranks in [2, 4] {
+        let (results, _) = run_cluster(nranks, |comm| {
+            distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()])
+        });
+        for r in &results {
+            assert!(r.converged, "rank {} of {nranks} did not converge", r.rank);
+            let d = (r.energy.free_energy - r_ser.energy.free_energy).abs();
+            assert!(
+                d <= 1e-10,
+                "{nranks}-rank energy {} vs serial {} (|d| = {d:.3e})",
+                r.energy.free_energy,
+                r_ser.energy.free_energy
+            );
+            assert!((r.density.integrate(&space) - 2.0).abs() < 1e-6);
+        }
+        // replicated quantities agree bitwise across the ranks of one run
+        for r in &results[1..] {
+            assert_eq!(
+                r.energy.free_energy.to_bits(),
+                results[0].energy.free_energy.to_bits()
+            );
+            assert_eq!(r.eigenvalues, results[0].eigenvalues);
+        }
+    }
+}
+
+#[test]
+fn identical_runs_are_bit_identical_at_four_ranks() {
+    let (space, sys) = parity_system();
+    let dcfg = DistScfConfig {
+        base: parity_cfg(),
+        wire: WirePrecision::Fp64,
+    };
+    let run = || {
+        let (results, _) = run_cluster(4, |comm| {
+            distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()])
+        });
+        results
+    };
+    let (a, b) = (run(), run());
+    for (ra, rb) in a.iter().zip(b.iter()) {
+        assert_eq!(
+            ra.energy.free_energy.to_bits(),
+            rb.energy.free_energy.to_bits(),
+            "rank {} energies differ between identical runs",
+            ra.rank
+        );
+        assert_eq!(ra.energy.total.to_bits(), rb.energy.total.to_bits());
+        assert_eq!(ra.eigenvalues, rb.eigenvalues);
+        assert_eq!(ra.residual_history, rb.residual_history);
+        assert_eq!(ra.iterations, rb.iterations);
+    }
+}
+
+#[test]
+fn fp32_wire_matches_fp64_energy_and_halves_boundary_bytes() {
+    let (space, sys) = parity_system();
+    let base = parity_cfg();
+    let mut volumes = Vec::new();
+    let mut energies = Vec::new();
+    for wire in [WirePrecision::Fp64, WirePrecision::Fp32] {
+        let dcfg = DistScfConfig {
+            base: base.clone(),
+            wire,
+        };
+        let (results, stats) = run_cluster(2, |comm| {
+            distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()])
+        });
+        assert!(results.iter().all(|r| r.converged));
+        energies.push(results[0].energy.free_energy);
+        volumes.push(stats.snapshot());
+    }
+    let d = (energies[0] - energies[1]).abs();
+    assert!(
+        d <= 1e-8,
+        "fp64 {} vs fp32-wire {} (|d| = {d:.3e})",
+        energies[0],
+        energies[1]
+    );
+    // the fp32 run actually moved fp32 bytes, and its total volume is
+    // smaller than the all-fp64 run's
+    let (total64, _, _, fp32_in_64) = volumes[0];
+    let (total32, _, _, fp32_in_32) = volumes[1];
+    assert_eq!(fp32_in_64, 0, "fp64 run must move no fp32 bytes");
+    assert!(fp32_in_32 > 0, "fp32 run moved no fp32 bytes");
+    assert!(
+        total32 < total64,
+        "fp32 wire did not reduce volume: {total32} vs {total64}"
+    );
+}

@@ -19,4 +19,10 @@ cargo build --offline --release --workspace
 echo "==> cargo test -q"
 cargo test -q --offline --workspace
 
+echo "==> distributed suite (oracle + SCF parity at 1/2/4 ranks)"
+cargo test -q --offline -p dft-parallel
+
+echo "==> BENCH_scaling.json schema check"
+cargo run -q --offline --release -p dft-bench --bin bench_scaling -- --check BENCH_scaling.json
+
 echo "==> CI green"
