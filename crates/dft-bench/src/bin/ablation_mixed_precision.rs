@@ -37,8 +37,8 @@ fn main() {
         let (errs, stats) = run_cluster(8, move |c| {
             let next = (c.rank() + 1) % c.size();
             let prev = (c.rank() + c.size() - 1) % c.size();
-            c.send_f64(next, 1, &b, wire);
-            let got = c.recv_f64(prev, 1, wire);
+            c.send_f64(next, 1, &b, wire).expect("send");
+            let got = c.recv_f64(prev, 1, wire).expect("recv");
             got.iter()
                 .zip(b.iter())
                 .map(|(a, t)| (a - t).abs())

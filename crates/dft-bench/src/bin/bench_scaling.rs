@@ -71,7 +71,7 @@ fn scf_run(
 ) -> (RankRun, f64) {
     let t0 = Instant::now();
     let (results, stats) = run_cluster(nranks, |comm| {
-        distributed_scf(comm, space, sys, &Lda, dcfg, &[KPoint::gamma()])
+        distributed_scf(comm, space, sys, &Lda, dcfg, &[KPoint::gamma()]).expect("scf")
     });
     let wall_seconds = t0.elapsed().as_secs_f64();
     let r0 = &results[0];
@@ -170,6 +170,7 @@ fn main() {
     let dcfg64 = DistScfConfig {
         base: cfg.clone(),
         wire: WirePrecision::Fp64,
+        ..DistScfConfig::default()
     };
     let mut runs: Vec<RankRun> = Vec::new();
     for nranks in [1usize, 2, 4, 8] {
@@ -195,6 +196,7 @@ fn main() {
     let dcfg32 = DistScfConfig {
         base: cfg,
         wire: WirePrecision::Fp32,
+        ..DistScfConfig::default()
     };
     let (run32, e32) = scf_run(&space, &sys, &dcfg32, 4);
     let run64 = runs.iter().find(|r| r.nranks == 4).expect("4-rank run");

@@ -1,0 +1,241 @@
+//! Schema and validation of `BENCH_recovery.json`, the artifact emitted by
+//! the `bench_recovery` binary: checkpoint overhead of the distributed SCF
+//! and the wall cost plus reconvergence accuracy of a kill-one-rank /
+//! restart-from-snapshot recovery.
+
+use crate::scaling::SystemCard;
+use serde::{Deserialize, Serialize};
+
+/// The uninterrupted reference run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BaselineRun {
+    /// Ranks in the run.
+    pub nranks: usize,
+    /// End-to-end wall seconds (cluster spawn included).
+    pub wall_seconds: f64,
+    /// SCF iterations performed.
+    pub iterations: usize,
+    /// Converged free energy (Ha).
+    pub free_energy_ha: f64,
+    /// Whether the density residual met the tolerance.
+    pub converged: bool,
+}
+
+/// The same run with periodic snapshots enabled.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckpointRun {
+    /// Snapshot cadence in SCF iterations.
+    pub checkpoint_every: usize,
+    /// End-to-end wall seconds with checkpointing on.
+    pub wall_seconds: f64,
+    /// Complete snapshots retained on disk at the end (pruned to the
+    /// newest two).
+    pub snapshots_retained: usize,
+    /// Bytes of the retained snapshots (all rank shards).
+    pub snapshot_bytes: u64,
+    /// `100 * (wall / baseline wall - 1)` — may be negative in the noise
+    /// at miniature scale.
+    pub overhead_percent: f64,
+}
+
+/// Kill-one-rank recovery through the restart driver.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecoveryRun {
+    /// Rank killed by the fault plan.
+    pub kill_rank: usize,
+    /// Epoch (1-based SCF iteration) the kill fires at.
+    pub kill_epoch: u64,
+    /// Communicator receive deadline in seconds (failure-detection latency
+    /// bound for the survivors).
+    pub timeout_seconds: f64,
+    /// Cluster launches (must be 2: the killed run plus one restart).
+    pub attempts: usize,
+    /// Ranks of the first launch.
+    pub initial_nranks: usize,
+    /// Ranks of the successful relaunch.
+    pub final_nranks: usize,
+    /// Snapshot iteration the relaunch resumed from.
+    pub resumed_from_iteration: usize,
+    /// Wall seconds of the whole kill + drain + relaunch + reconverge.
+    pub wall_seconds: f64,
+    /// Free energy of the recovered run (Ha).
+    pub free_energy_ha: f64,
+    /// `|recovered - baseline|` free energy (Ha).
+    pub abs_energy_diff_ha: f64,
+    /// Whether the recovered run converged.
+    pub converged: bool,
+}
+
+/// The full `BENCH_recovery.json` document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecoveryBench {
+    /// Provenance note.
+    pub note: String,
+    /// The benchmark system.
+    pub system: SystemCard,
+    /// Uninterrupted reference.
+    pub baseline: BaselineRun,
+    /// Checkpoint-overhead measurement.
+    pub checkpointing: CheckpointRun,
+    /// Kill-and-restart measurement.
+    pub recovery: RecoveryRun,
+}
+
+impl RecoveryBench {
+    /// Schema + invariant check; used by the emitting binary before writing
+    /// and by CI's `--check` against the committed artifact.
+    pub fn validate(&self) -> Result<(), String> {
+        let b = &self.baseline;
+        if !b.converged {
+            return Err("baseline did not converge".into());
+        }
+        if !(b.wall_seconds.is_finite() && b.wall_seconds > 0.0) {
+            return Err("baseline wall time invalid".into());
+        }
+        if b.nranks < 2 {
+            return Err("baseline must be a multi-rank run".into());
+        }
+
+        let c = &self.checkpointing;
+        if c.checkpoint_every == 0 {
+            return Err("checkpoint cadence must be positive".into());
+        }
+        if !(c.wall_seconds.is_finite() && c.wall_seconds > 0.0) {
+            return Err("checkpointing wall time invalid".into());
+        }
+        if c.snapshots_retained == 0 || c.snapshot_bytes == 0 {
+            return Err("checkpointing run left no snapshots on disk".into());
+        }
+        if !c.overhead_percent.is_finite() {
+            return Err("checkpoint overhead invalid".into());
+        }
+
+        let r = &self.recovery;
+        if !r.converged {
+            return Err("recovered run did not converge".into());
+        }
+        if r.attempts != 2 {
+            return Err(format!(
+                "one kill must cost one restart, got {} attempts",
+                r.attempts
+            ));
+        }
+        if r.initial_nranks != b.nranks {
+            return Err("recovery must start at the baseline rank count".into());
+        }
+        if r.final_nranks + 1 != r.initial_nranks {
+            return Err("restart must drop exactly the killed rank".into());
+        }
+        if r.kill_rank >= r.initial_nranks {
+            return Err("killed rank out of range".into());
+        }
+        if !(r.timeout_seconds.is_finite() && r.timeout_seconds > 0.0) {
+            return Err("recovery timeout invalid".into());
+        }
+        if !(r.wall_seconds.is_finite() && r.wall_seconds > 0.0) {
+            return Err("recovery wall time invalid".into());
+        }
+        if r.resumed_from_iteration == 0
+            || !r.resumed_from_iteration.is_multiple_of(c.checkpoint_every)
+        {
+            return Err(format!(
+                "resume iteration {} is not a checkpoint multiple of {}",
+                r.resumed_from_iteration, c.checkpoint_every
+            ));
+        }
+        let d = (r.free_energy_ha - b.free_energy_ha).abs();
+        if (d - r.abs_energy_diff_ha).abs() > 1e-15 {
+            return Err("abs_energy_diff_ha is not |recovered - baseline|".into());
+        }
+        if d > 1e-10 {
+            return Err(format!(
+                "recovered energy drifts from baseline by {d:.3e} Ha (> 1e-10)"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good() -> RecoveryBench {
+        RecoveryBench {
+            note: "test".into(),
+            system: SystemCard {
+                description: "test".into(),
+                ndofs: 216,
+                nnodes: 216,
+                ncells: 8,
+                n_states: 4,
+                n_electrons: 2.0,
+            },
+            baseline: BaselineRun {
+                nranks: 4,
+                wall_seconds: 0.5,
+                iterations: 12,
+                free_energy_ha: -1.25,
+                converged: true,
+            },
+            checkpointing: CheckpointRun {
+                checkpoint_every: 2,
+                wall_seconds: 0.55,
+                snapshots_retained: 2,
+                snapshot_bytes: 40_000,
+                overhead_percent: 10.0,
+            },
+            recovery: RecoveryRun {
+                kill_rank: 2,
+                kill_epoch: 3,
+                timeout_seconds: 2.0,
+                attempts: 2,
+                initial_nranks: 4,
+                final_nranks: 3,
+                resumed_from_iteration: 2,
+                wall_seconds: 3.1,
+                free_energy_ha: -1.25 + 5e-12,
+                abs_energy_diff_ha: 5e-12,
+                converged: true,
+            },
+        }
+    }
+
+    #[test]
+    fn good_report_validates_and_round_trips() {
+        let r = good();
+        r.validate().unwrap();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: RecoveryBench = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.recovery.final_nranks, 3);
+    }
+
+    #[test]
+    fn validation_rejects_violations() {
+        let mut r = good();
+        r.recovery.attempts = 3;
+        assert!(r.validate().is_err());
+
+        let mut r = good();
+        r.recovery.free_energy_ha += 1e-6;
+        r.recovery.abs_energy_diff_ha = (r.recovery.free_energy_ha - (-1.25f64)).abs();
+        assert!(r.validate().is_err());
+
+        let mut r = good();
+        r.recovery.abs_energy_diff_ha = 0.0;
+        assert!(r.validate().is_err(), "inconsistent diff must be rejected");
+
+        let mut r = good();
+        r.checkpointing.snapshot_bytes = 0;
+        assert!(r.validate().is_err());
+
+        let mut r = good();
+        r.recovery.final_nranks = 4;
+        assert!(r.validate().is_err());
+
+        let mut r = good();
+        r.recovery.resumed_from_iteration = 3;
+        assert!(r.validate().is_err());
+    }
+}

@@ -97,6 +97,22 @@ impl AndersonMixer {
     pub fn reset(&mut self) {
         self.history.clear();
     }
+
+    /// The retained `(rho_in, residual)` history, oldest first — what a
+    /// checkpoint must capture to make a restarted SCF bit-compatible.
+    pub fn history(&self) -> &[(Vec<f64>, Vec<f64>)] {
+        &self.history
+    }
+
+    /// Replace the history with checkpointed pairs (oldest first); entries
+    /// beyond the mixer's depth are dropped from the front, matching what
+    /// [`Self::mix_with`] would have retained.
+    pub fn restore_history(&mut self, pairs: Vec<(Vec<f64>, Vec<f64>)>) {
+        self.history = pairs;
+        while self.history.len() > self.depth {
+            self.history.remove(0);
+        }
+    }
 }
 
 /// Solve the equality-constrained least-squares coefficients by Gaussian
@@ -216,6 +232,35 @@ mod tests {
         let _ = mx.mix(&[1.0, 1.0], &[0.5, 0.5]);
         let out = mx.mix(&[0.5, 0.5], &[-2.0, 0.1]);
         assert!(out.iter().all(|&v| v >= 0.0));
+    }
+
+    /// Checkpoint contract: exporting the history and restoring it into a
+    /// fresh mixer must reproduce the original mixer's next output exactly.
+    #[test]
+    fn history_export_restore_is_bit_compatible() {
+        let w = vec![1.0, 0.5, 2.0];
+        let mut a = AndersonMixer::new(0.4, 3, w.clone());
+        let _ = a.mix(&[1.0, 2.0, 3.0], &[1.5, 1.8, 2.5]);
+        let _ = a.mix(&[1.2, 1.9, 2.8], &[1.4, 1.7, 2.6]);
+        let saved: Vec<(Vec<f64>, Vec<f64>)> = a.history().to_vec();
+
+        let mut b = AndersonMixer::new(0.4, 3, w);
+        b.restore_history(saved);
+        let (rin, rout) = ([1.3, 1.8, 2.7], [1.35, 1.75, 2.65]);
+        let out_a = a.mix(&rin, &rout);
+        let out_b = b.mix(&rin, &rout);
+        for (x, y) in out_a.iter().zip(out_b.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // restoring more pairs than depth keeps only the newest `depth`
+        let mut c = AndersonMixer::new(0.4, 2, vec![1.0; 3]);
+        c.restore_history(vec![
+            (vec![0.0; 3], vec![0.1; 3]),
+            (vec![1.0; 3], vec![0.2; 3]),
+            (vec![2.0; 3], vec![0.3; 3]),
+        ]);
+        assert_eq!(c.history().len(), 2);
+        assert_eq!(c.history()[0].0, vec![1.0; 3]);
     }
 
     #[test]

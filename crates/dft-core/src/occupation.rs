@@ -61,6 +61,13 @@ pub fn fermi_occupations(
         };
     }
 
+    // A non-finite eigenvalue would poison the bisection bracket (and mu)
+    // with NaN/inf; fail loudly at the boundary instead.
+    assert!(
+        evals.iter().flatten().all(|e| e.is_finite()),
+        "non-finite eigenvalue in spectrum"
+    );
+
     let count = |mu: f64| -> f64 {
         evals
             .iter()
@@ -205,6 +212,50 @@ mod tests {
         for &o in &r.occupations[0] {
             assert!((o - 0.75).abs() < 1e-8, "occupation {o}");
         }
+    }
+
+    /// Degenerate spectrum *and* n_electrons exactly at capacity: the count
+    /// is flat at capacity everywhere above the level, so the bracket's
+    /// upper end never over-counts — bisection must still produce a finite
+    /// mu above the level with every state full.
+    #[test]
+    fn fully_degenerate_spectrum_at_full_capacity() {
+        let evals = vec![vec![-0.3; 5]];
+        let r = fermi_occupations(&evals, &[1.0], 10.0, 0.02);
+        assert!(r.mu.is_finite(), "mu must be finite, got {}", r.mu);
+        for &o in &r.occupations[0] {
+            assert!((o - 2.0).abs() < 1e-9, "occupation {o}");
+        }
+        assert!(r.entropy.abs() < 1e-6);
+    }
+
+    /// Widely separated eigenvalues keep the bracket (and mu) finite.
+    #[test]
+    fn huge_magnitude_eigenvalues_keep_finite_mu() {
+        let evals = vec![vec![-1e8, 1e8]];
+        let r = fermi_occupations(&evals, &[1.0], 2.0, 0.01);
+        assert!(r.mu.is_finite());
+        assert!((r.occupations[0][0] - 2.0).abs() < 1e-9);
+        assert!(r.occupations[0][1] < 1e-9);
+    }
+
+    /// Capacity with non-uniform k-weights: exactly-full still settles.
+    #[test]
+    fn full_capacity_with_unequal_kpoint_weights() {
+        let evals = vec![vec![-1.0, 0.2], vec![-0.8, 0.1]];
+        let r = fermi_occupations(&evals, &[0.25, 0.75], 4.0, 0.01);
+        assert!(r.mu.is_finite());
+        for occ in &r.occupations {
+            for &o in occ {
+                assert!((o - 2.0).abs() < 1e-9, "occupation {o}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite eigenvalue")]
+    fn non_finite_eigenvalue_rejected() {
+        fermi_occupations(&[vec![0.0, f64::NAN]], &[1.0], 1.0, 0.01);
     }
 
     #[test]

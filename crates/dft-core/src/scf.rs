@@ -92,6 +92,10 @@ pub struct ScfConfig {
     /// [`ScfResult::profile`]. Off by default; when off the solver path
     /// carries no measurable instrumentation overhead.
     pub profile: bool,
+    /// Write an SCF restart snapshot every `checkpoint_every` iterations
+    /// (0 = never). Consumed by the distributed driver; the serial solver
+    /// ignores it.
+    pub checkpoint_every: usize,
 }
 
 impl Default for ScfConfig {
@@ -111,6 +115,7 @@ impl Default for ScfConfig {
             seed: 42,
             verbose: false,
             profile: false,
+            checkpoint_every: 0,
         }
     }
 }

@@ -43,14 +43,17 @@ pub enum Phase {
     Dh,
     /// Electrostatic potential: FE Poisson solves.
     Ep,
+    /// Checkpoint write: serializing SCF state to the snapshot store.
+    Ck,
     /// Everything else inside the SCF loop (Lanczos bounds, occupations,
     /// mixing, energy integrals).
     Other,
 }
 
 impl Phase {
-    /// All phases, in Table-3 order.
-    pub const ALL: [Phase; 11] = [
+    /// All phases, in Table-3 order (the non-Table-3 `Ck` rides ahead of
+    /// the `Other` bucket).
+    pub const ALL: [Phase; 12] = [
         Phase::Cf,
         Phase::CholGsS,
         Phase::CholGsCi,
@@ -61,6 +64,7 @@ impl Phase {
         Phase::Dc,
         Phase::Dh,
         Phase::Ep,
+        Phase::Ck,
         Phase::Other,
     ];
 
@@ -77,6 +81,7 @@ impl Phase {
             Phase::Dc => "DC",
             Phase::Dh => "DH",
             Phase::Ep => "EP",
+            Phase::Ck => "CK",
             Phase::Other => "Other",
         }
     }
@@ -367,7 +372,7 @@ impl ScfProfile {
     }
 
     /// The cumulative breakdown folded onto the simulated schedule's step
-    /// names: DH, EP, and Other merge into `"DH+EP+Others"`, matching
+    /// names: DH, EP, CK, and Other merge into `"DH+EP+Others"`, matching
     /// [`crate::schedule::scf_step`]. Returns `(step, seconds, flops)`.
     pub fn table3_rows(&self) -> Vec<(String, f64, u64)> {
         let mut rows: Vec<(String, f64, u64)> = Vec::new();
@@ -376,7 +381,7 @@ impl ScfProfile {
             let label = p.label();
             let (s, f) = (self.phase_seconds(label), self.phase_flops(label));
             match p {
-                Phase::Dh | Phase::Ep | Phase::Other => {
+                Phase::Dh | Phase::Ep | Phase::Ck | Phase::Other => {
                     tail.1 += s;
                     tail.2 += f;
                 }

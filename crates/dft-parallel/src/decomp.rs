@@ -52,10 +52,8 @@ impl Decomposition {
     pub fn new(space: &FeSpace, rank: usize, nranks: usize) -> Self {
         assert!(rank < nranks);
         let ncells = space.cells().len();
-        assert!(
-            nranks <= ncells,
-            "more ranks ({nranks}) than cells ({ncells})"
-        );
+        // nranks > ncells is legal: trailing ranks get an empty slab, own
+        // nothing, and still participate in every collective
         let ranges = partition_cells(ncells, nranks);
         let owners = dof_owners(space, &ranges);
         let node_owner = node_owners(space, &ranges);
@@ -237,6 +235,44 @@ mod tests {
                     _ => panic!("asymmetric exchange between ranks {a} and {b}"),
                 }
             }
+        }
+    }
+
+    /// Satellite regression: 5 ranks on a 4-cell mesh. The trailing rank
+    /// gets an empty slab, owns nothing, ghosts nothing, and exchanges with
+    /// nobody — but the decomposition must still build, and the four real
+    /// slabs must still tile the DoFs.
+    #[test]
+    fn more_ranks_than_cells_yields_consistent_empty_slabs() {
+        use dft_fem::mesh::{Axis, BoundaryCondition as Bc};
+        let mesh = Mesh3d::new(
+            [
+                Axis::uniform(4, 0.0, 8.0, Bc::Dirichlet),
+                Axis::uniform(1, 0.0, 2.0, Bc::Dirichlet),
+                Axis::uniform(1, 0.0, 2.0, Bc::Dirichlet),
+            ],
+            2,
+        );
+        let space = FeSpace::new(mesh);
+        assert_eq!(space.cells().len(), 4);
+        let nranks = 5;
+        let decs: Vec<Decomposition> = (0..nranks)
+            .map(|r| Decomposition::new(&space, r, nranks))
+            .collect();
+        let empty = &decs[4];
+        assert!(empty.range.is_empty());
+        assert_eq!(empty.n_owned(), 0);
+        assert_eq!(empty.n_ext(), 0);
+        assert!(empty.send_to.is_empty() && empty.recv_from.is_empty());
+        assert!(empty.interior_cells.is_empty() && empty.boundary_cells.is_empty());
+        assert!(empty.owned_node.iter().all(|&o| !o));
+        // the non-empty ranks still partition every DoF exactly once
+        let total: usize = decs.iter().map(|d| d.n_owned()).sum();
+        assert_eq!(total, space.ndofs());
+        // and no exchange list ever names the empty rank
+        for d in &decs {
+            assert!(d.send_to.iter().all(|(p, _)| *p != 4));
+            assert!(d.recv_from.iter().all(|(p, _)| *p != 4));
         }
     }
 

@@ -20,18 +20,29 @@
 //! * [`scf`] — the distributed SCF driver: replicated nodal fields and
 //!   Poisson solves, sharded eigensolver, density assembly by allreduce,
 //!   Anderson mixing with owned-node-masked Gram reduction, per-rank
-//!   [`ScfProfile`](dft_hpc::ScfProfile)s and a merged comm-volume report.
+//!   [`ScfProfile`](dft_hpc::ScfProfile)s and a merged comm-volume report;
+//! * [`checkpoint`] — versioned, checksummed per-rank SCF snapshots
+//!   (density, wavefunction shards, mixer history, chemical potential)
+//!   written atomically every `checkpoint_every` iterations;
+//! * [`recover`] — the restart driver: on rank loss the survivors return
+//!   [`ScfError::RankLost`] within the communicator deadline (never a
+//!   hang), and [`scf_with_recovery`] relaunches from the newest complete
+//!   snapshot at a reduced rank count.
 
 #![deny(unsafe_code)]
 // indexed loops deliberately mirror the paper's subscript notation
 #![allow(clippy::needless_range_loop)]
 
+pub mod checkpoint;
 pub mod decomp;
 pub mod operator;
+pub mod recover;
 pub mod reduce;
 pub mod scf;
 
+pub use checkpoint::{LoadedCheckpoint, ReplicatedScfState};
 pub use decomp::Decomposition;
-pub use operator::{DistHamiltonian, DistSpace, SharedComm, WireScalar};
+pub use operator::{ghost_tag_band, DistHamiltonian, DistSpace, SharedComm, WireScalar};
+pub use recover::{scf_with_recovery, RecoveryReport};
 pub use reduce::{ClusterReducer, CommVolume};
-pub use scf::{distributed_scf, DistScfConfig, DistScfResult};
+pub use scf::{distributed_scf, DistScfConfig, DistScfResult, ScfError};

@@ -22,11 +22,12 @@
 use crate::decomp::Decomposition;
 use dft_core::hamiltonian::HamOperator;
 use dft_fem::space::{phase_products, FeSpace};
-use dft_hpc::comm::{ThreadComm, WirePrecision};
+use dft_hpc::comm::{wire_tag_band, CommError, ThreadComm, WirePrecision};
 use dft_linalg::iterative::LinearOperator;
 use dft_linalg::matrix::Matrix;
 use dft_linalg::scalar::{Real, Scalar, C64};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// The per-rank communicator behind a [`Mutex`], so operators that must be
 /// [`Sync`] (the [`LinearOperator`] supertrait bound) can share it. Locks
@@ -45,6 +46,18 @@ impl<'a> SharedComm<'a> {
         let mut guard = self.0.lock().expect("comm mutex poisoned");
         f(&mut guard)
     }
+
+    /// The failure that poisoned the underlying communicator, if any.
+    pub fn failure(&self) -> Option<CommError> {
+        self.with(|c| c.failure())
+    }
+}
+
+/// The wire-tag band of the ghost exchange (forward + reverse legs, both
+/// precision framings) — for [`FaultPlan`](dft_hpc::comm::FaultPlan) rules
+/// that kill a rank mid-Hamiltonian-apply.
+pub fn ghost_tag_band() -> (u64, u64) {
+    (wire_tag_band(TAG_FWD).0, wire_tag_band(TAG_REV).1)
 }
 
 /// Scalars that can cross the wire as `f64` components: `f64` is itself,
@@ -90,32 +103,51 @@ const TAG_REV: u64 = (1 << 55) + 1;
 
 /// Poll `try_recv_f64` round-robin over `peers` until every payload has
 /// arrived; payloads are returned in the *list* order (not arrival order),
-/// which is what keeps downstream accumulation deterministic.
+/// which is what keeps downstream accumulation deterministic. The poll runs
+/// against the communicator's receive deadline: a peer that never delivers
+/// poisons the communicator with [`CommError::Timeout`] instead of spinning
+/// forever.
 fn harvest<'p>(
     comm: &SharedComm<'_>,
     peers: impl Iterator<Item = &'p usize>,
     tag: u64,
     wire: WirePrecision,
-) -> Vec<Vec<f64>> {
+) -> Result<Vec<Vec<f64>>, CommError> {
     let peers: Vec<usize> = peers.copied().collect();
     let mut got: Vec<Option<Vec<f64>>> = vec![None; peers.len()];
     let mut remaining = peers.len();
+    let deadline = Instant::now() + comm.with(|c| c.timeout());
     while remaining > 0 {
-        comm.with(|c| {
+        comm.with(|c| -> Result<(), CommError> {
             for (slot, &p) in got.iter_mut().zip(peers.iter()) {
                 if slot.is_none() {
-                    if let Some(buf) = c.try_recv_f64(p, tag, wire) {
+                    if let Some(buf) = c.try_recv_f64(p, tag, wire)? {
                         *slot = Some(buf);
                         remaining -= 1;
                     }
                 }
             }
-        });
+            Ok(())
+        })?;
         if remaining > 0 {
+            if Instant::now() >= deadline {
+                let missing = peers
+                    .iter()
+                    .zip(got.iter())
+                    .find(|(_, s)| s.is_none())
+                    .map_or(0, |(&p, _)| p);
+                let band = wire_tag_band(tag).0 + u64::from(wire == WirePrecision::Fp32);
+                let e = CommError::Timeout {
+                    src: missing,
+                    tag: band,
+                };
+                comm.with(|c| c.fail(e));
+                return Err(e);
+            }
             std::thread::yield_now();
         }
     }
-    got.into_iter().map(|s| s.unwrap()).collect()
+    Ok(got.into_iter().map(|s| s.unwrap()).collect())
 }
 
 /// A partitioned FE space: one rank's slab plus its exchange machinery.
@@ -137,7 +169,8 @@ impl<'a> DistSpace<'a> {
 
     /// Distributed `Y = K X` on owned DoF rows (the distributed
     /// counterpart of [`FeSpace::apply_stiffness`]): `x` and `y` are
-    /// `n_owned x ncols`.
+    /// `n_owned x ncols`. Fails (and poisons the communicator) if a ghost
+    /// exchange times out or a peer is lost.
     pub fn apply_stiffness<T: WireScalar>(
         &self,
         comm: &SharedComm<'_>,
@@ -145,8 +178,8 @@ impl<'a> DistSpace<'a> {
         y: &mut Matrix<T>,
         phases: [T; 3],
         wire: WirePrecision,
-    ) {
-        self.apply_cells(comm, x, y, phases, None, wire);
+    ) -> Result<(), CommError> {
+        self.apply_cells(comm, x, y, phases, None, wire)
     }
 
     /// The shared kernel: optional fused per-row `M^{-1/2}` input scaling
@@ -159,7 +192,7 @@ impl<'a> DistSpace<'a> {
         phases: [T; 3],
         row_scale: Option<&[f64]>,
         wire: WirePrecision,
-    ) {
+    ) -> Result<(), CommError> {
         let dec = &self.dec;
         let (n_owned, n_ext) = (dec.n_owned(), dec.n_ext());
         let nc = x.ncols();
@@ -168,7 +201,7 @@ impl<'a> DistSpace<'a> {
 
         // 1. post the owned boundary rows (raw, unscaled: the receiver owns
         //    the same global mass diagonal and scales locally)
-        comm.with(|c| {
+        comm.with(|c| -> Result<(), CommError> {
             for (peer, idxs) in &dec.send_to {
                 let mut buf = Vec::with_capacity(idxs.len() * nc * T::COMPONENTS);
                 for j in 0..nc {
@@ -177,9 +210,10 @@ impl<'a> DistSpace<'a> {
                         T::pack_into(col[l as usize], &mut buf);
                     }
                 }
-                c.isend_f64(*peer, TAG_FWD, &buf, wire);
+                c.isend_f64(*peer, TAG_FWD, &buf, wire)?;
             }
-        });
+            Ok(())
+        })?;
 
         // extended input: owned rows (scaled) now, ghosts after harvest
         let mut x_ext = Matrix::<T>::zeros(n_ext, nc);
@@ -199,7 +233,7 @@ impl<'a> DistSpace<'a> {
         self.run_cells(&dec.interior_cells, &x_ext, &mut y_ext, phases);
 
         // 3. harvest ghosts, then the boundary cells
-        let bufs = harvest(comm, dec.recv_from.iter().map(|(p, _)| p), TAG_FWD, wire);
+        let bufs = harvest(comm, dec.recv_from.iter().map(|(p, _)| p), TAG_FWD, wire)?;
         for ((_, idxs), buf) in dec.recv_from.iter().zip(bufs.iter()) {
             assert_eq!(buf.len(), idxs.len() * nc * T::COMPONENTS);
             for j in 0..nc {
@@ -218,7 +252,7 @@ impl<'a> DistSpace<'a> {
 
         // 4. fold ghost partial sums back to their owners; accumulate the
         //    incoming partials in ascending peer order (deterministic)
-        comm.with(|c| {
+        comm.with(|c| -> Result<(), CommError> {
             for (peer, idxs) in &dec.recv_from {
                 let mut buf = Vec::with_capacity(idxs.len() * nc * T::COMPONENTS);
                 for j in 0..nc {
@@ -227,10 +261,11 @@ impl<'a> DistSpace<'a> {
                         T::pack_into(col[l as usize], &mut buf);
                     }
                 }
-                c.isend_f64(*peer, TAG_REV, &buf, wire);
+                c.isend_f64(*peer, TAG_REV, &buf, wire)?;
             }
-        });
-        let bufs = harvest(comm, dec.send_to.iter().map(|(p, _)| p), TAG_REV, wire);
+            Ok(())
+        })?;
+        let bufs = harvest(comm, dec.send_to.iter().map(|(p, _)| p), TAG_REV, wire)?;
         for ((_, idxs), buf) in dec.send_to.iter().zip(bufs.iter()) {
             assert_eq!(buf.len(), idxs.len() * nc * T::COMPONENTS);
             for j in 0..nc {
@@ -243,6 +278,7 @@ impl<'a> DistSpace<'a> {
         for j in 0..nc {
             y.col_mut(j).copy_from_slice(&y_ext.col(j)[..n_owned]);
         }
+        Ok(())
     }
 
     /// Gather-kernel-scatter over the given slab-local cells, column-
@@ -260,6 +296,11 @@ impl<'a> DistSpace<'a> {
         let dec = &self.dec;
         let nloc = space.nloc();
         let n_ext = dec.n_ext();
+        if n_ext == 0 {
+            // empty-owned rank (nranks > ncells): nothing to gather or
+            // scatter, and par_chunks_mut(0) would panic
+            return;
+        }
         let gather_tab = phase_products(phases, false);
         let scatter_tab = phase_products(phases, true);
         y_ext
@@ -344,9 +385,19 @@ impl<'a, 'c, T: WireScalar> LinearOperator<T> for DistHamiltonian<'a, 'c, T> {
     fn apply(&self, x: &Matrix<T>, y: &mut Matrix<T>) {
         let dec = &self.dist.dec;
         let s = self.dist.space.inv_sqrt_mass();
-        // y = K M^{-1/2} x on owned rows (input scaling fused, as serial)
-        self.dist
-            .apply_cells(self.comm, x, y, self.phases, Some(s), self.wire);
+        // y = K M^{-1/2} x on owned rows (input scaling fused, as serial).
+        // The trait signature is infallible: on a comm failure the error is
+        // already recorded in the (poisoned) communicator, so fill the
+        // output with zeros and let the SCF loop observe the failure after
+        // the phase.
+        if self
+            .dist
+            .apply_cells(self.comm, x, y, self.phases, Some(s), self.wire)
+            .is_err()
+        {
+            y.as_mut_slice().fill(T::ZERO);
+            return;
+        }
         // y = 1/2 M^{-1/2} y + v x
         for j in 0..y.ncols() {
             let xcol = x.col(j);

@@ -1,0 +1,119 @@
+//! The restart driver: run a distributed SCF, and when ranks die, resume
+//! from the newest complete checkpoint at a reduced rank count.
+//!
+//! Recovery needs no surviving process state — the snapshot on disk plus the
+//! deterministic [`Decomposition`](crate::decomp::Decomposition) derived
+//! from the *new* rank count are enough. The reassembled wavefunction shards
+//! are restricted to the fresh partition, so the restarted SCF continues
+//! from the checkpointed iteration and reconverges to the same free energy
+//! (bit-identical at the same rank count, to solver tolerance otherwise).
+
+use crate::scf::{distributed_scf, DistScfConfig, DistScfResult, ScfError};
+use dft_core::scf::KPoint;
+use dft_core::system::AtomicSystem;
+use dft_core::xc::XcFunctional;
+use dft_fem::space::FeSpace;
+use dft_hpc::comm::{run_cluster_with, ClusterOptions, CommError, FaultPlan};
+use std::sync::Arc;
+
+/// What [`scf_with_recovery`] did to finish the SCF.
+pub struct RecoveryReport {
+    /// Per-rank results of the *successful* attempt, in rank order.
+    pub results: Vec<DistScfResult>,
+    /// Cluster launches performed (1 = no failure).
+    pub attempts: usize,
+    /// Rank count of the first launch.
+    pub initial_nranks: usize,
+    /// Rank count of the successful launch.
+    pub final_nranks: usize,
+    /// The first per-rank error observed, if any attempt failed.
+    pub first_failure: Option<ScfError>,
+}
+
+/// Run the distributed SCF under `opts` (which may carry a fault plan) and,
+/// on rank loss, relaunch from the newest complete snapshot in
+/// `cfg.checkpoint_dir` with the dead ranks removed. Relaunches are
+/// fault-free (a kill rule fires once; replaying it would re-kill the
+/// restarted run) and keep the original receive deadline.
+///
+/// Errors with the first failure when `max_restarts` is exhausted, when the
+/// cluster shrinks below one rank, or on checkpoint I/O failure (which a
+/// relaunch cannot fix).
+#[allow(clippy::too_many_arguments)]
+pub fn scf_with_recovery<X: XcFunctional + Sync>(
+    nranks: usize,
+    opts: &ClusterOptions,
+    space: &FeSpace,
+    system: &AtomicSystem,
+    xc: &X,
+    cfg: &DistScfConfig,
+    kpts: &[KPoint],
+    max_restarts: usize,
+) -> Result<RecoveryReport, ScfError> {
+    assert!(nranks >= 1);
+    let mut n = nranks;
+    let mut attempts = 0;
+    let mut first_failure: Option<ScfError> = None;
+    let mut current = ClusterOptions {
+        timeout: opts.timeout,
+        faults: Arc::clone(&opts.faults),
+    };
+    let mut cfg_attempt = cfg.clone();
+
+    loop {
+        attempts += 1;
+        let (results, _) = run_cluster_with(n, &current, |comm| {
+            distributed_scf(comm, space, system, xc, &cfg_attempt, kpts)
+        });
+
+        let mut ok = Vec::with_capacity(n);
+        let mut dead = 0usize;
+        let mut attempt_error: Option<ScfError> = None;
+        for r in results {
+            match r {
+                Ok(res) => ok.push(res),
+                Err(e) => {
+                    if matches!(
+                        e,
+                        ScfError::RankLost {
+                            cause: CommError::Killed { .. },
+                            ..
+                        }
+                    ) {
+                        dead += 1;
+                    }
+                    if attempt_error.is_none() {
+                        attempt_error = Some(e.clone());
+                    }
+                }
+            }
+        }
+
+        let Some(err) = attempt_error else {
+            return Ok(RecoveryReport {
+                results: ok,
+                attempts,
+                initial_nranks: nranks,
+                final_nranks: n,
+                first_failure,
+            });
+        };
+        if first_failure.is_none() {
+            first_failure = Some(err.clone());
+        }
+        // a broken snapshot store stays broken across relaunches
+        if matches!(err, ScfError::Checkpoint { .. }) {
+            return Err(err);
+        }
+        // survivors time out without a Killed cause when the dead rank never
+        // reports (it is gone, not erroring) — drop at least one rank
+        let drop_ranks = dead.max(1);
+        if attempts > max_restarts || n <= drop_ranks {
+            return Err(err);
+        }
+        n -= drop_ranks;
+        // relaunch fault-free from the newest complete snapshot
+        current.faults = Arc::new(FaultPlan::default());
+        cfg_attempt.restart = true;
+    }
+}

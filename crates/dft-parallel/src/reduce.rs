@@ -33,16 +33,34 @@ impl<'a, 'c, T: WireScalar> SubspaceReducer<T> for ClusterReducer<'a, 'c> {
         for &v in m.as_slice() {
             T::pack_into(v, &mut buf);
         }
-        self.comm
+        let reduced = self
+            .comm
             .with(|c| c.allreduce_sum_f64(&mut buf, WirePrecision::Fp64));
+        if reduced.is_err() {
+            // comm failure (already recorded in the poisoned communicator):
+            // substitute the identity so the caller's Cholesky/eigensolve
+            // stays finite until the SCF loop observes the failure
+            for j in 0..m.ncols() {
+                for (i, v) in m.col_mut(j).iter_mut().enumerate() {
+                    *v = if i == j { T::ONE } else { T::ZERO };
+                }
+            }
+            return;
+        }
         for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
             *v = T::unpack_at(&buf, i);
         }
     }
 
     fn reduce_f64(&self, v: &mut [f64]) {
-        self.comm
-            .with(|c| c.allreduce_sum_f64(v, WirePrecision::Fp64));
+        if self
+            .comm
+            .with(|c| c.allreduce_sum_f64(v, WirePrecision::Fp64))
+            .is_err()
+        {
+            // safe substitute (norms of 1.0) on a poisoned communicator
+            v.fill(1.0);
+        }
     }
 
     fn is_distributed(&self) -> bool {

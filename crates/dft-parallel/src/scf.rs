@@ -20,6 +20,7 @@
 //! runs at the same rank count produce bit-identical energies — and every
 //! rank of one run agrees on every replicated quantity to the last bit.
 
+use crate::checkpoint::{self, ReplicatedScfState};
 use crate::decomp::Decomposition;
 use crate::operator::{DistHamiltonian, DistSpace, SharedComm, WireScalar};
 use crate::reduce::{ClusterReducer, CommVolume};
@@ -34,20 +35,70 @@ use dft_fem::field::NodalField;
 use dft_fem::mesh::BoundaryCondition;
 use dft_fem::poisson::{solve_poisson, PoissonBc};
 use dft_fem::space::FeSpace;
-use dft_hpc::comm::{ThreadComm, WirePrecision};
+use dft_hpc::comm::{CommError, ThreadComm, WirePrecision};
 use dft_hpc::profile::{Phase, PhaseScope, Profile, ScfProfile};
 use dft_linalg::matrix::Matrix;
 use dft_linalg::scalar::{Real, C64};
+use std::path::PathBuf;
+
+/// Why a distributed SCF did not finish.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScfError {
+    /// A rank died or went silent: this rank's communicator failed at the
+    /// given SCF iteration (either this rank was killed, or a peer stopped
+    /// responding and a collective timed out). The communicator is poisoned;
+    /// the driver should restart from the last checkpoint at a reduced rank
+    /// count.
+    RankLost {
+        /// The reporting rank.
+        rank: usize,
+        /// Zero-based SCF iteration at which the failure surfaced.
+        iteration: usize,
+        /// The underlying communication failure.
+        cause: CommError,
+    },
+    /// Checkpoint I/O failed (write, finalize, or restart load).
+    Checkpoint {
+        /// Zero-based SCF iteration of the failed snapshot.
+        iteration: usize,
+    },
+}
+
+impl std::fmt::Display for ScfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScfError::RankLost {
+                rank,
+                iteration,
+                cause,
+            } => write!(f, "rank {rank} lost at SCF iteration {iteration}: {cause}"),
+            ScfError::Checkpoint { iteration } => {
+                write!(f, "checkpoint I/O failed at SCF iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScfError {}
 
 /// Distributed SCF configuration: the serial knobs plus the wire precision
 /// of the Chebyshev-filter ghost exchange (the paper's Sec. 5.4.2 trick —
 /// CholGS/RR reductions and all collectives stay FP64 regardless).
 #[derive(Clone, Debug)]
 pub struct DistScfConfig {
-    /// The serial SCF knobs, applied unchanged.
+    /// The serial SCF knobs, applied unchanged (`base.checkpoint_every`
+    /// sets the snapshot cadence; 0 disables).
     pub base: ScfConfig,
     /// Wire precision of the boundary exchange during Chebyshev filtering.
     pub wire: WirePrecision,
+    /// Root directory for SCF restart snapshots; `None` disables
+    /// checkpointing regardless of `base.checkpoint_every`.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the newest complete snapshot in `checkpoint_dir` (falls
+    /// back to a fresh start when none exists). The restart rank count may
+    /// differ from the writing run's: shards are reassembled and restricted
+    /// to the freshly derived partition.
+    pub restart: bool,
 }
 
 impl Default for DistScfConfig {
@@ -55,6 +106,8 @@ impl Default for DistScfConfig {
         Self {
             base: ScfConfig::default(),
             wire: WirePrecision::Fp64,
+            checkpoint_dir: None,
+            restart: false,
         }
     }
 }
@@ -83,6 +136,8 @@ pub struct DistScfResult {
     pub iterations: usize,
     /// Whether the density residual met the tolerance.
     pub converged: bool,
+    /// The snapshot iteration this run resumed from (`None` = fresh start).
+    pub resumed_from: Option<usize>,
     /// Residual per iteration (replicated).
     pub residual_history: Vec<f64>,
     /// This rank's per-phase profile (`Some` iff `base.profile`).
@@ -95,7 +150,9 @@ pub struct DistScfResult {
 /// Run the distributed SCF on this rank's communicator. Call from every
 /// rank of a [`dft_hpc::run_cluster`] with identical arguments; dispatches
 /// to the real (Γ-only) or complex (Bloch) scalar path like
-/// [`dft_core::scf::scf`].
+/// [`dft_core::scf::scf`]. Returns [`ScfError::RankLost`] — within the
+/// communicator's timeout, never a hang — when this rank is killed or a
+/// peer stops responding.
 pub fn distributed_scf(
     comm: &mut ThreadComm,
     space: &FeSpace,
@@ -103,7 +160,7 @@ pub fn distributed_scf(
     xc: &dyn XcFunctional,
     cfg: &DistScfConfig,
     kpts: &[KPoint],
-) -> DistScfResult {
+) -> Result<DistScfResult, ScfError> {
     let gamma_only = kpts.len() == 1 && kpts[0].is_gamma();
     if gamma_only {
         dist_scf_impl::<f64>(comm, space, system, xc, cfg, kpts)
@@ -178,7 +235,7 @@ fn dist_scf_impl<T: ScalarExt>(
     xc: &dyn XcFunctional,
     cfg: &DistScfConfig,
     kpts: &[KPoint],
-) -> DistScfResult {
+) -> Result<DistScfResult, ScfError> {
     let (rank, nranks) = (comm.rank(), comm.size());
     let base = &cfg.base;
     let nd = space.ndofs();
@@ -208,7 +265,11 @@ fn dist_scf_impl<T: ScalarExt>(
         .map(|(i, &w)| if dec.owned_node[i] { w } else { 0.0 })
         .collect();
     let mut mixer = AndersonMixer::new(base.mixing_alpha, base.anderson_depth, masked_weights);
-    let reduce_gram = |b: &mut [f64]| shared.with(|c| c.allreduce_sum_f64(b, WirePrecision::Fp64));
+    // infallible closure shape: a failed allreduce poisons the communicator
+    // and is observed right after the mix
+    let reduce_gram = |b: &mut [f64]| {
+        let _ = shared.with(|c| c.allreduce_sum_f64(b, WirePrecision::Fp64));
+    };
 
     // per-k state: every rank draws the identical full random subspace and
     // keeps its owned rows — sharding without a scatter
@@ -239,14 +300,85 @@ fn dist_scf_impl<T: ScalarExt>(
     let e_ii_corr = system.ion_ion_correction(space);
     let kweights: Vec<f64> = kpts.iter().map(|k| k.weight).collect();
 
+    // ---- restart from the newest complete snapshot, if asked ----------
+    let mut start_iter = 0;
+    let mut resumed_from = None;
+    if cfg.restart {
+        if let Some(dir) = &cfg.checkpoint_dir {
+            if let Some(it) = checkpoint::latest_complete(dir) {
+                let loaded = checkpoint::load::<T>(dir, it)
+                    .map_err(|_| ScfError::Checkpoint { iteration: it })?;
+                if loaded.state.rho_in.len() != space.nnodes()
+                    || loaded.psi_full.len() != kpts.len()
+                    || loaded.psi_full[0].nrows() != nd
+                    || loaded.psi_full[0].ncols() != base.n_states
+                {
+                    return Err(ScfError::Checkpoint { iteration: it });
+                }
+                rho_in = loaded.state.rho_in.clone();
+                mu = loaded.state.mu;
+                mixer.restore_history(loaded.state.mixer_history.clone());
+                filter_window = loaded.state.filter_windows.clone();
+                residual_history = loaded.state.residual_history.clone();
+                for (ik, full) in loaded.psi_full.iter().enumerate() {
+                    for j in 0..base.n_states {
+                        let src = full.col(j);
+                        for (l, dst) in psi[ik].col_mut(j).iter_mut().enumerate() {
+                            *dst = src[dec.owned[l] as usize];
+                        }
+                    }
+                }
+                start_iter = loaded.state.iteration;
+                resumed_from = Some(it);
+            }
+        }
+    }
+
     let profile_store = base.profile.then(Profile::new);
     let profile = profile_store.as_ref();
+    let lost = |iteration: usize, cause: CommError| ScfError::RankLost {
+        rank,
+        iteration,
+        cause,
+    };
 
-    for iter in 0..base.max_iter {
+    for iter in start_iter..base.max_iter {
         iterations = iter + 1;
         if let Some(p) = profile {
             p.begin_iteration();
         }
+
+        // ---- checkpoint the top-of-iteration state ---------------------
+        // Written *before* the epoch advance, so a fault-injected "kill at
+        // iteration K" leaves iteration K's snapshot complete.
+        if let Some(dir) = &cfg.checkpoint_dir {
+            if base.checkpoint_every > 0 && iter > start_iter && iter % base.checkpoint_every == 0 {
+                let mut scope = PhaseScope::new(profile, Phase::Ck);
+                let state = ReplicatedScfState {
+                    iteration: iter,
+                    rho_in: rho_in.clone(),
+                    mu,
+                    mixer_history: mixer.history().to_vec(),
+                    filter_windows: filter_window.clone(),
+                    residual_history: residual_history.clone(),
+                };
+                let bytes = checkpoint::write_rank(dir, rank, nranks, nd, &state, &dec.owned, &psi)
+                    .map_err(|_| ScfError::Checkpoint { iteration: iter })?;
+                scope.add_bytes(bytes);
+                // every shard must land before the snapshot is declared
+                // complete; the barrier doubles as the failure detector
+                shared.with(|c| c.barrier()).map_err(|e| lost(iter, e))?;
+                if rank == 0 {
+                    checkpoint::finalize(dir, iter, 2)
+                        .map_err(|_| ScfError::Checkpoint { iteration: iter })?;
+                }
+            }
+        }
+
+        // ---- fault-injection epoch: "kill rank R at iteration K" -------
+        shared
+            .with(|c| c.advance_epoch())
+            .map_err(|e| lost(iter, e))?;
         // ---- effective potential from rho_in (replicated, no comm) -----
         let rho_charge: Vec<f64> = (0..space.nnodes())
             .map(|i| rho_ion[i] - rho_in[i])
@@ -321,6 +453,13 @@ fn dist_scf_impl<T: ScalarExt>(
             }
             filter_window[ik] = Some((a0, a));
             eigenvalues[ik] = evals;
+            // a dead peer surfaces inside the filter's ghost exchange or
+            // the subspace allreduces; the poisoned communicator makes the
+            // rest of the (garbage) ChFES pass finish fast — check here
+            // before the garbage reaches occupations
+            if let Some(e) = shared.failure() {
+                return Err(lost(iter, e));
+            }
         }
 
         // ---- occupations & density -------------------------------------
@@ -354,7 +493,9 @@ fn dist_scf_impl<T: ScalarExt>(
             }
             // owned DoF rows partition the serial sum: one allreduce
             // replicates the full density on every rank
-            shared.with(|c| c.allreduce_sum_f64(&mut rho_out, WirePrecision::Fp64));
+            shared
+                .with(|c| c.allreduce_sum_f64(&mut rho_out, WirePrecision::Fp64))
+                .map_err(|e| lost(iter, e))?;
         }
 
         // ---- total energy (replicated recomputation) --------------------
@@ -439,10 +580,13 @@ fn dist_scf_impl<T: ScalarExt>(
             let _scope = PhaseScope::new(profile, Phase::Other);
             rho_in = mixer.mix_with(&rho_in, &rho_out, &reduce_gram);
         }
+        if let Some(e) = shared.failure() {
+            return Err(lost(iter, e));
+        }
     }
 
     let comm_vol = comm_start.delta(&CommVolume::snapshot(&shared));
-    DistScfResult {
+    Ok(DistScfResult {
         rank,
         nranks,
         energy: result_energy,
@@ -453,10 +597,11 @@ fn dist_scf_impl<T: ScalarExt>(
         v_eff,
         iterations,
         converged,
+        resumed_from,
         residual_history,
         profile: profile_store.map(|p| p.finish(None)),
         comm: comm_vol,
-    }
+    })
 }
 
 /// A `Decomposition` accessor for callers that want the sharding of a

@@ -55,7 +55,8 @@ fn check_apply_oracle<T: WireScalar>(
         let shared = SharedComm::new(comm);
         let x_local = restrict_rows(&dist, x);
         let mut y_local = Matrix::<T>::zeros(dist.dec.n_owned(), x.ncols());
-        dist.apply_stiffness(&shared, &x_local, &mut y_local, phases, WirePrecision::Fp64);
+        dist.apply_stiffness(&shared, &x_local, &mut y_local, phases, WirePrecision::Fp64)
+            .expect("apply");
         max_err_vs_owned(&dist, &y_local, &y_ref)
     });
     for (r, e) in errs.iter().enumerate() {
@@ -169,10 +170,11 @@ fn distributed_scf_matches_serial_energy() {
     let dcfg = DistScfConfig {
         base: cfg,
         wire: WirePrecision::Fp64,
+        ..DistScfConfig::default()
     };
     for nranks in [2, 4] {
         let (results, _) = run_cluster(nranks, |comm| {
-            distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()])
+            distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()]).expect("scf")
         });
         for r in &results {
             assert!(r.converged, "rank {} of {nranks} did not converge", r.rank);
@@ -202,10 +204,11 @@ fn identical_runs_are_bit_identical_at_four_ranks() {
     let dcfg = DistScfConfig {
         base: parity_cfg(),
         wire: WirePrecision::Fp64,
+        ..DistScfConfig::default()
     };
     let run = || {
         let (results, _) = run_cluster(4, |comm| {
-            distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()])
+            distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()]).expect("scf")
         });
         results
     };
@@ -234,9 +237,10 @@ fn fp32_wire_matches_fp64_energy_and_halves_boundary_bytes() {
         let dcfg = DistScfConfig {
             base: base.clone(),
             wire,
+            ..DistScfConfig::default()
         };
         let (results, stats) = run_cluster(2, |comm| {
-            distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()])
+            distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()]).expect("scf")
         });
         assert!(results.iter().all(|r| r.converged));
         energies.push(results[0].energy.free_energy);

@@ -1,0 +1,309 @@
+//! Fault-tolerance integration tests: deterministic rank kills during the
+//! distributed SCF must surface as [`ScfError::RankLost`] on every rank
+//! within the communicator deadline (never a hang), and restarting from the
+//! on-disk checkpoint must reconverge to the uninterrupted free energy.
+
+use dft_core::scf::{KPoint, ScfConfig};
+use dft_core::system::{Atom, AtomKind, AtomicSystem};
+use dft_core::xc::Lda;
+use dft_fem::mesh::{Axis, BoundaryCondition as Bc, Mesh3d};
+use dft_fem::space::FeSpace;
+use dft_hpc::comm::{
+    run_cluster, run_cluster_with, ClusterOptions, CommError, FaultPlan, COLLECTIVE_TAGS,
+};
+use dft_parallel::scf::ScfError;
+use dft_parallel::{distributed_scf, ghost_tag_band, scf_with_recovery, DistScfConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn parity_system() -> (FeSpace, AtomicSystem) {
+    let space = FeSpace::new(Mesh3d::periodic_cube(2, 6.0, 3));
+    let sys = AtomicSystem::new(vec![Atom {
+        kind: AtomKind::Pseudo { z: 2.0, r_c: 0.8 },
+        pos: [3.0, 3.0, 3.0],
+    }]);
+    (space, sys)
+}
+
+fn parity_cfg() -> ScfConfig {
+    ScfConfig {
+        n_states: 4,
+        kt: 0.02,
+        tol: 1e-6,
+        max_iter: 60,
+        cheb_degree: 30,
+        first_iter_cf_passes: 5,
+        ..ScfConfig::default()
+    }
+}
+
+fn fresh_dir(label: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "dft-ft-{label}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+/// Every rank of a faulted run must return `Err` — the victim with a
+/// `Killed` cause, the survivors with a `Timeout`/`PeerGone` cause — within
+/// a small multiple of the communicator deadline.
+fn assert_all_lost(
+    results: Vec<Result<dft_parallel::DistScfResult, ScfError>>,
+    victim: usize,
+    elapsed: Duration,
+    budget: Duration,
+) {
+    assert!(
+        elapsed < budget,
+        "cluster took {elapsed:?} to drain (budget {budget:?})"
+    );
+    for (r, res) in results.into_iter().enumerate() {
+        let err = match res {
+            Ok(_) => panic!("rank {r} finished the SCF despite the kill"),
+            Err(e) => e,
+        };
+        match err {
+            ScfError::RankLost { rank, cause, .. } => {
+                assert_eq!(rank, r, "error must name the reporting rank");
+                if r == victim {
+                    assert_eq!(cause, CommError::Killed { rank: victim });
+                } else {
+                    assert!(
+                        matches!(
+                            cause,
+                            CommError::Timeout { .. } | CommError::PeerGone { .. }
+                        ),
+                        "survivor {r}: unexpected cause {cause:?}"
+                    );
+                }
+            }
+            other => panic!("rank {r}: expected RankLost, got {other:?}"),
+        }
+    }
+}
+
+/// Kill a rank on its first ghost-exchange send of SCF iteration 1 (mid
+/// Chebyshev filter): survivors must drain with `RankLost`, not hang.
+#[test]
+fn kill_mid_chebyshev_filter_drains_cleanly() {
+    let (space, sys) = parity_system();
+    let dcfg = DistScfConfig {
+        base: parity_cfg(),
+        ..DistScfConfig::default()
+    };
+    let opts = ClusterOptions {
+        timeout: Duration::from_secs(2),
+        faults: std::sync::Arc::new(FaultPlan::kill_on_send(1, 2, ghost_tag_band(), 0)),
+    };
+    let t0 = Instant::now();
+    let (results, stats) = run_cluster_with(4, &opts, |comm| {
+        distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()])
+    });
+    assert_all_lost(results, 1, t0.elapsed(), Duration::from_secs(30));
+    let (timeouts, kills, _) = stats.fault_snapshot();
+    assert_eq!(kills, 1, "exactly one rank must have been killed");
+    assert!(timeouts >= 1, "survivors must have timed out");
+}
+
+/// Kill a rank between the receive legs of a subspace allreduce: the ring
+/// stalls on every rank, and all of them must report `RankLost` in bounded
+/// time.
+#[test]
+fn kill_mid_allreduce_drains_cleanly() {
+    let (space, sys) = parity_system();
+    let dcfg = DistScfConfig {
+        base: parity_cfg(),
+        ..DistScfConfig::default()
+    };
+    let opts = ClusterOptions {
+        timeout: Duration::from_secs(2),
+        faults: std::sync::Arc::new(FaultPlan::kill_on_send(2, 2, COLLECTIVE_TAGS, 1)),
+    };
+    let t0 = Instant::now();
+    let (results, _) = run_cluster_with(4, &opts, |comm| {
+        distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()])
+    });
+    assert_all_lost(results, 2, t0.elapsed(), Duration::from_secs(30));
+}
+
+/// More ranks than cells: the surplus ranks own nothing but must still
+/// participate in every collective, and the converged energy must match a
+/// fully loaded run of the same system to SCF-parity accuracy.
+#[test]
+fn scf_with_empty_ranks_matches_fewer_rank_energy() {
+    let mesh = Mesh3d::new(
+        [
+            Axis::uniform(4, 0.0, 8.0, Bc::Dirichlet),
+            Axis::uniform(1, 0.0, 2.0, Bc::Dirichlet),
+            Axis::uniform(1, 0.0, 2.0, Bc::Dirichlet),
+        ],
+        2,
+    );
+    let space = FeSpace::new(mesh);
+    assert_eq!(space.cells().len(), 4);
+    let sys = AtomicSystem::new(vec![Atom {
+        kind: AtomKind::Pseudo { z: 2.0, r_c: 0.6 },
+        pos: [4.0, 1.0, 1.0],
+    }]);
+    let dcfg = DistScfConfig {
+        base: ScfConfig {
+            n_states: 3,
+            kt: 0.02,
+            tol: 1e-7,
+            max_iter: 80,
+            cheb_degree: 20,
+            ..ScfConfig::default()
+        },
+        ..DistScfConfig::default()
+    };
+    let energy_at = |nranks: usize| {
+        let (results, _) = run_cluster(nranks, |comm| {
+            distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()]).expect("scf")
+        });
+        for r in &results {
+            assert!(r.converged, "rank {}/{nranks} did not converge", r.rank);
+        }
+        results[0].energy.free_energy
+    };
+    let e2 = energy_at(2);
+    // 5 ranks on 4 cells: rank 4 owns no cells, no DoFs, no neighbors
+    let e5 = energy_at(5);
+    let d = (e5 - e2).abs();
+    assert!(d <= 1e-10, "5-rank {e5} vs 2-rank {e2} (|d| = {d:.3e})");
+}
+
+/// Same-rank-count restart contract: stop a checkpointing run early, resume
+/// it, and the completed trajectory must be *bit-identical* to a run that
+/// was never interrupted.
+#[test]
+fn resume_at_same_rank_count_is_bit_identical() {
+    let (space, sys) = parity_system();
+    let dir = fresh_dir("resume");
+
+    // uninterrupted reference (no checkpointing)
+    let dcfg_ref = DistScfConfig {
+        base: parity_cfg(),
+        ..DistScfConfig::default()
+    };
+    let (reference, _) = run_cluster(4, |comm| {
+        distributed_scf(comm, &space, &sys, &Lda, &dcfg_ref, &[KPoint::gamma()]).expect("scf")
+    });
+    assert!(reference[0].converged);
+
+    // truncated run: snapshots every 2 iterations, stopped after 3
+    let mut base = parity_cfg();
+    base.checkpoint_every = 2;
+    base.max_iter = 3;
+    let dcfg_cut = DistScfConfig {
+        base,
+        checkpoint_dir: Some(dir.clone()),
+        ..DistScfConfig::default()
+    };
+    let (cut, _) = run_cluster(4, |comm| {
+        distributed_scf(comm, &space, &sys, &Lda, &dcfg_cut, &[KPoint::gamma()]).expect("scf")
+    });
+    assert!(!cut[0].converged, "3 iterations must not converge");
+
+    // resume to completion
+    let mut base = parity_cfg();
+    base.checkpoint_every = 2;
+    let dcfg_resume = DistScfConfig {
+        base,
+        checkpoint_dir: Some(dir.clone()),
+        restart: true,
+        ..DistScfConfig::default()
+    };
+    let (resumed, _) = run_cluster(4, |comm| {
+        distributed_scf(comm, &space, &sys, &Lda, &dcfg_resume, &[KPoint::gamma()]).expect("scf")
+    });
+    for (r, (a, b)) in reference.iter().zip(resumed.iter()).enumerate() {
+        assert_eq!(b.resumed_from, Some(2), "rank {r} did not resume");
+        assert_eq!(
+            a.energy.free_energy.to_bits(),
+            b.energy.free_energy.to_bits(),
+            "rank {r}: resumed energy differs from uninterrupted"
+        );
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(
+            a.residual_history, b.residual_history,
+            "rank {r}: resumed residual trajectory differs"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance scenario: a 4-rank SCF with rank 2 killed at iteration 3
+/// (1-based) neither hangs nor panics — survivors return `RankLost` before
+/// the deadline — and the recovery driver restarts from the last complete
+/// snapshot at 3 ranks, reconverging to the uninterrupted free energy
+/// within 1e-10 Ha.
+#[test]
+fn killed_rank_recovery_reconverges_to_uninterrupted_energy() {
+    let (space, sys) = parity_system();
+    let dir = fresh_dir("recover");
+
+    // uninterrupted 4-rank reference
+    let dcfg_ref = DistScfConfig {
+        base: parity_cfg(),
+        ..DistScfConfig::default()
+    };
+    let (reference, _) = run_cluster(4, |comm| {
+        distributed_scf(comm, &space, &sys, &Lda, &dcfg_ref, &[KPoint::gamma()]).expect("scf")
+    });
+    assert!(reference[0].converged);
+    let e_ref = reference[0].energy.free_energy;
+
+    // faulted run: kill rank 2 at its 3rd epoch advance (SCF iteration 3,
+    // 1-based); snapshots every 2 iterations land a complete checkpoint at
+    // iteration 2 just before the kill fires
+    let mut base = parity_cfg();
+    base.checkpoint_every = 2;
+    let dcfg = DistScfConfig {
+        base,
+        checkpoint_dir: Some(dir.clone()),
+        ..DistScfConfig::default()
+    };
+    let opts = ClusterOptions {
+        timeout: Duration::from_secs(2),
+        faults: std::sync::Arc::new(FaultPlan::kill_at_epoch(2, 3)),
+    };
+    let t0 = Instant::now();
+    let report = scf_with_recovery(4, &opts, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()], 2)
+        .expect("recovery must succeed");
+    assert!(
+        t0.elapsed() < Duration::from_secs(60),
+        "recovery took {:?}",
+        t0.elapsed()
+    );
+
+    assert_eq!(report.attempts, 2, "one kill must cost exactly one restart");
+    assert_eq!(report.initial_nranks, 4);
+    assert_eq!(report.final_nranks, 3, "restart must drop the dead rank");
+    assert!(
+        matches!(report.first_failure, Some(ScfError::RankLost { .. })),
+        "first failure must be the injected kill: {:?}",
+        report.first_failure
+    );
+    assert_eq!(report.results.len(), 3);
+    for r in &report.results {
+        assert!(r.converged, "restarted rank {} did not converge", r.rank);
+        assert_eq!(
+            r.resumed_from,
+            Some(2),
+            "restart must resume from the iteration-2 snapshot"
+        );
+        let d = (r.energy.free_energy - e_ref).abs();
+        assert!(
+            d <= 1e-10,
+            "recovered energy {} vs uninterrupted {} (|d| = {d:.3e})",
+            r.energy.free_energy,
+            e_ref
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -22,7 +22,13 @@ cargo test -q --offline --workspace
 echo "==> distributed suite (oracle + SCF parity at 1/2/4 ranks)"
 cargo test -q --offline -p dft-parallel
 
+echo "==> fault-injection suite (kills, timeouts, checkpoint/restart recovery)"
+cargo test -q --offline --release -p dft-parallel --test fault_tolerance
+
 echo "==> BENCH_scaling.json schema check"
 cargo run -q --offline --release -p dft-bench --bin bench_scaling -- --check BENCH_scaling.json
+
+echo "==> BENCH_recovery.json schema check"
+cargo run -q --offline --release -p dft-bench --bin bench_recovery -- --check BENCH_recovery.json
 
 echo "==> CI green"

@@ -6,7 +6,7 @@
 
 /// Drop-in subset of `crossbeam::channel`.
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender, TryRecvError};
 
     /// Unbounded channel (alias of `std::sync::mpsc::channel`).
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
