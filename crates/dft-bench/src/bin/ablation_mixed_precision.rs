@@ -38,7 +38,8 @@ fn main() {
             let next = (c.rank() + 1) % c.size();
             let prev = (c.rank() + c.size() - 1) % c.size();
             c.send_f64(next, 1, &b, wire).expect("send");
-            let got = c.recv_f64(prev, 1, wire).expect("recv");
+            let deadline = std::time::Instant::now() + c.timeout();
+            let got = c.recv_f64_deadline(prev, 1, wire, deadline).expect("recv");
             got.iter()
                 .zip(b.iter())
                 .map(|(a, t)| (a - t).abs())

@@ -50,12 +50,13 @@ fn main() {
     println!();
     let bfs = [25.0, 50.0, 100.0, 200.0, 350.0, 500.0];
     let mut at500 = Vec::new();
-    for &bf in &bfs {
+    for (bi, &bf) in bfs.iter().enumerate() {
         print!("{bf:<8.0}");
+        let last = bi == bfs.len() - 1;
         for (_, m, nodes, _) in &machines {
             let eff = cf_efficiency(&sys, &ClusterSpec::new(m.clone(), *nodes), bf);
             print!("{:>11.1}%", 100.0 * eff);
-            if bf == 500.0 {
+            if last {
                 at500.push(100.0 * eff);
             }
         }

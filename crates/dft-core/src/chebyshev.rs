@@ -152,6 +152,7 @@ impl<T: Scalar> Default for CfScratch<T> {
 ///
 /// Convenience wrapper over [`chebyshev_filter_scratch`] with one-shot
 /// scratch.
+// dftlint:hot
 pub fn chebyshev_filter<T: Scalar>(
     op: &dyn LinearOperator<T>,
     x: &mut Matrix<T>,
@@ -168,6 +169,7 @@ pub fn chebyshev_filter<T: Scalar>(
 /// three live blocks (`X`, `Y`, `H Y`) and advances by pointer rotation
 /// (`std::mem::swap`), so per degree step the only work is one Hamiltonian
 /// apply and one fused element-wise update — no clones, no allocation.
+// dftlint:hot
 pub fn chebyshev_filter_scratch<T: Scalar>(
     op: &dyn LinearOperator<T>,
     x: &mut Matrix<T>,

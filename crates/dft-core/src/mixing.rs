@@ -152,6 +152,7 @@ fn solve_constrained(b: &[f64], m: usize) -> Vec<f64> {
         let d = a[col * n + col];
         for r in col + 1..n {
             let f = a[r * n + col] / d;
+            // dftlint:allow(L004, reason="exact-zero elimination skip: avoids FMA work, never a tolerance test")
             if f != 0.0 {
                 for k in col..n {
                     a[r * n + k] -= f * a[col * n + k];

@@ -53,6 +53,7 @@ impl KPoint {
     }
     /// True if this is exactly Γ.
     pub fn is_gamma(&self) -> bool {
+        // dftlint:allow(L004, reason="exact Gamma-point sentinel: frac is set to literal 0.0, never computed")
         self.frac.iter().all(|&f| f == 0.0)
     }
 }
@@ -502,6 +503,7 @@ fn scf_impl<T: Scalar + ScalarExt>(
 fn phases_for<T: Scalar + ScalarExt>(space: &FeSpace, k: &KPoint) -> [T; 3] {
     let mut ph = [T::ONE; 3];
     for d in 0..3 {
+        // dftlint:allow(L004, reason="exact Gamma-point sentinel: k.frac is set to literal 0.0, never computed")
         if space.mesh.axes[d].bc() == BoundaryCondition::Periodic && k.frac[d] != 0.0 {
             let theta = 2.0 * std::f64::consts::PI * k.frac[d];
             if T::IS_COMPLEX {

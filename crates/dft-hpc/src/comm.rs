@@ -169,6 +169,101 @@ impl FaultPlan {
 /// broadcast, allgather) — for [`FaultPlan`] rules targeting collectives.
 pub const COLLECTIVE_TAGS: (u64, u64) = (1 << 60, u64::MAX);
 
+/// Upper bound on cluster size, which bounds every rank-indexed tag band:
+/// a band of `width = MAX_RANKS` can address `base + rank` for any rank
+/// without escaping its declared interval. [`run_cluster_with`] rejects
+/// larger clusters. The dft-lint L003 prover reads this constant to verify
+/// the bands below are pairwise disjoint on the wire.
+pub const MAX_RANKS: u64 = 4000;
+
+/// A declared interval of collective tags. Every collective primitive draws
+/// its tags from exactly one band; no tag literal may appear outside this
+/// registry (lint L003). `raw` bands are sent via [`ThreadComm::send_bytes`]
+/// unshifted; framed bands pass through the precision encoding
+/// (`tag << 1 | fp32_bit`), which doubles their wire interval.
+#[derive(Debug, Clone, Copy)]
+pub struct TagBand {
+    /// Human-readable band name (diagnostics only).
+    pub name: &'static str,
+    /// First logical tag in the band.
+    pub base: u64,
+    /// Number of logical tags (`1` for single-tag bands, [`MAX_RANKS`] for
+    /// rank-indexed bands).
+    pub width: u64,
+    /// True when the tag hits the wire unshifted (no precision framing).
+    pub raw: bool,
+}
+
+impl TagBand {
+    /// The band's single (or first) logical tag.
+    #[inline]
+    pub const fn tag(&self) -> u64 {
+        self.base
+    }
+
+    /// The logical tag a rank-indexed band assigns to `rank`.
+    #[inline]
+    pub const fn for_rank(&self, rank: usize) -> u64 {
+        debug_assert!((rank as u64) < self.width);
+        self.base + rank as u64
+    }
+
+    /// Half-open interval of wire tags this band can emit.
+    pub const fn wire_range(&self) -> (u64, u64) {
+        if self.raw {
+            (self.base, self.base + self.width)
+        } else {
+            (self.base << 1, (self.base + self.width) << 1)
+        }
+    }
+
+    /// Whether an observed wire tag falls inside this band.
+    pub const fn contains_wire(&self, wire: u64) -> bool {
+        let (lo, hi) = self.wire_range();
+        lo <= wire && wire < hi
+    }
+}
+
+/// Barrier control messages (raw bytes, no precision framing).
+pub const BARRIER_BAND: TagBand = TagBand {
+    name: "barrier",
+    base: (1 << 60) + 1,
+    width: 1,
+    raw: true,
+};
+
+/// Allreduce: `base + rank` carries rank contributions to root, `base`
+/// carries the reduced result back.
+pub const ALLREDUCE_BAND: TagBand = TagBand {
+    name: "allreduce",
+    base: (1 << 60) + 1000,
+    width: MAX_RANKS,
+    raw: false,
+};
+
+/// Broadcast payload from rank 0.
+pub const BROADCAST_BAND: TagBand = TagBand {
+    name: "broadcast",
+    base: (1 << 60) + 5000,
+    width: 1,
+    raw: false,
+};
+
+/// Allgather: `base + rank` carries each rank's scalar to root (the
+/// result returns on [`BROADCAST_BAND`]).
+pub const GATHER_BAND: TagBand = TagBand {
+    name: "gather",
+    base: (1 << 60) + 7000,
+    width: MAX_RANKS,
+    raw: false,
+};
+
+/// The complete collective tag registry. The dft-lint L003 pass statically
+/// proves these bands pairwise disjoint on the wire and contained in
+/// [`COLLECTIVE_TAGS`]; the `sanitize` feature additionally asserts at
+/// runtime that every observed collective wire tag lands in one of them.
+pub const TAG_BANDS: [TagBand; 4] = [BARRIER_BAND, ALLREDUCE_BAND, BROADCAST_BAND, GATHER_BAND];
+
 /// The wire-tag band a logical point-to-point tag occupies after precision
 /// encoding (both FP64 and FP32 framings) — for [`FaultPlan`] rules
 /// targeting a specific exchange.
@@ -221,8 +316,89 @@ struct Packet {
 /// makes the paper's "FP32 boundary exchange halves traffic" claim
 /// (Sec. 5.4.2) directly measurable. Fault-tolerance events (receive
 /// timeouts, injected kills, injected delays) are tallied alongside.
+/// Debug-build message-leak detector (`sanitize` feature): the dynamic
+/// complement of the static L003 tag prover. Every successful
+/// [`ThreadComm::send_bytes`] records its `(src, dst, wire_tag)` triple;
+/// every delivery decrements it. At clean cluster shutdown
+/// ([`run_cluster_with`] with no rank failed) any nonzero entry is a
+/// message that was sent but never received — a protocol leak.
+#[cfg(feature = "sanitize")]
+pub mod sanitize {
+    use super::{COLLECTIVE_TAGS, TAG_BANDS};
+    use std::collections::BTreeMap;
+    use std::sync::{Mutex, PoisonError};
+
+    /// In-flight message ledger keyed by `(src, dst, wire_tag)`.
+    #[derive(Default)]
+    pub struct MsgTracker {
+        in_flight: Mutex<BTreeMap<(usize, usize, u64), u64>>,
+    }
+
+    impl MsgTracker {
+        /// Record a message handed to the destination channel.
+        pub fn record(&self, src: usize, dst: usize, wire_tag: u64) {
+            let mut map = self
+                .in_flight
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *map.entry((src, dst, wire_tag)).or_insert(0) += 1;
+        }
+
+        /// Record a message delivered to its receiver.
+        pub fn deliver(&self, src: usize, dst: usize, wire_tag: u64) {
+            let mut map = self
+                .in_flight
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(n) = map.get_mut(&(src, dst, wire_tag)) {
+                *n -= 1;
+                if *n == 0 {
+                    map.remove(&(src, dst, wire_tag));
+                }
+            }
+        }
+
+        /// Panic if any recorded message was never delivered. Called at
+        /// clean shutdown only — ranks that failed (kill/timeout) leave
+        /// legitimately undeliverable messages behind.
+        pub fn assert_drained(&self) {
+            let map = self
+                .in_flight
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let leaks: Vec<String> = map
+                .iter()
+                .map(|(&(src, dst, tag), &n)| {
+                    format!("{n} message(s) {src} -> {dst} wire_tag {tag:#x}")
+                })
+                .collect();
+            assert!(
+                leaks.is_empty(),
+                "comm sanitizer: {} leaked message(s) at clean shutdown:\n  {}",
+                leaks.len(),
+                leaks.join("\n  ")
+            );
+        }
+
+        /// Assert that a collective-range wire tag belongs to a declared
+        /// [`TagBand`](super::TagBand) — the runtime twin of lint L003.
+        pub fn assert_tag_registered(wire_tag: u64) {
+            if wire_tag < COLLECTIVE_TAGS.0 {
+                return; // point-to-point tag space, unregistered by design
+            }
+            assert!(
+                TAG_BANDS.iter().any(|b| b.contains_wire(wire_tag)),
+                "comm sanitizer: collective wire tag {wire_tag:#x} is outside every registered TagBand"
+            );
+        }
+    }
+}
+
 #[derive(Default)]
 pub struct CommStats {
+    /// Debug-build message-leak tracker (`sanitize` feature only).
+    #[cfg(feature = "sanitize")]
+    pub tracker: sanitize::MsgTracker,
     /// Total payload bytes sent by all ranks (point-to-point + collectives).
     pub bytes_sent: AtomicU64,
     /// Total messages sent.
@@ -407,10 +583,16 @@ impl ThreadComm {
     pub fn send_bytes(&mut self, dst: usize, tag: u64, data: Vec<u8>) -> Result<(), CommError> {
         self.check()?;
         self.fault_on_send(tag)?;
+        #[cfg(feature = "sanitize")]
+        sanitize::MsgTracker::assert_tag_registered(tag);
         self.stats
             .bytes_sent
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        // record before the channel send: once the packet is in the
+        // channel the receiver may deliver (and decrement) it immediately
+        #[cfg(feature = "sanitize")]
+        self.stats.tracker.record(self.rank, dst, tag);
         if self.senders[dst]
             .send(Packet {
                 src: self.rank,
@@ -419,6 +601,8 @@ impl ThreadComm {
             })
             .is_err()
         {
+            #[cfg(feature = "sanitize")]
+            self.stats.tracker.deliver(self.rank, dst, tag); // undo: nothing was sent
             let e = CommError::PeerGone { peer: dst };
             self.fail(e);
             return Err(e);
@@ -433,7 +617,10 @@ impl ThreadComm {
             .pending
             .iter()
             .position(|p| p.src == src && p.tag == tag)?;
-        Some(self.pending.remove(pos).unwrap().data)
+        let p = self.pending.remove(pos)?;
+        #[cfg(feature = "sanitize")]
+        self.stats.tracker.deliver(p.src, self.rank, p.tag);
+        Some(p.data)
     }
 
     /// Blocking receive of a message from `src` with `tag` against the
@@ -469,6 +656,8 @@ impl ThreadComm {
             match self.receiver.recv_timeout(deadline - now) {
                 Ok(p) => {
                     if p.src == src && p.tag == tag {
+                        #[cfg(feature = "sanitize")]
+                        self.stats.tracker.deliver(p.src, self.rank, p.tag);
                         return Ok(p.data);
                     }
                     self.pending.push_back(p);
@@ -525,10 +714,12 @@ impl ThreadComm {
         match wire {
             WirePrecision::Fp64 => bytes
                 .chunks_exact(8)
+                // dftlint:allow(L001, reason="chunks_exact(8) guarantees 8-byte slices; try_into cannot fail")
                 .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
                 .collect(),
             WirePrecision::Fp32 => bytes
                 .chunks_exact(4)
+                // dftlint:allow(L001, reason="chunks_exact(4) guarantees 4-byte slices; try_into cannot fail")
                 .map(|c| f32::from_le_bytes(c.try_into().unwrap()) as f64)
                 .collect(),
         }
@@ -620,18 +811,18 @@ impl ThreadComm {
     /// Barrier across all ranks (dissemination via rank 0). One shared
     /// deadline covers the whole collective.
     pub fn barrier(&mut self) -> Result<(), CommError> {
-        const TAG: u64 = (1 << 60) + 1;
+        let tag = BARRIER_BAND.tag();
         let deadline = Instant::now() + self.timeout;
         if self.rank == 0 {
             for r in 1..self.size {
-                let _ = self.recv_bytes_deadline(r, TAG, deadline)?;
+                let _ = self.recv_bytes_deadline(r, tag, deadline)?;
             }
             for r in 1..self.size {
-                self.send_bytes(r, TAG, vec![])?;
+                self.send_bytes(r, tag, vec![])?;
             }
         } else {
-            self.send_bytes(0, TAG, vec![])?;
-            let _ = self.recv_bytes_deadline(0, TAG, deadline)?;
+            self.send_bytes(0, tag, vec![])?;
+            let _ = self.recv_bytes_deadline(0, tag, deadline)?;
         }
         Ok(())
     }
@@ -645,7 +836,6 @@ impl ThreadComm {
         data: &mut [f64],
         wire: WirePrecision,
     ) -> Result<(), CommError> {
-        const TAG: u64 = (1 << 60) + 1000;
         if self.size == 1 {
             return self.check();
         }
@@ -653,18 +843,19 @@ impl ThreadComm {
         if self.rank == 0 {
             let mut acc = data.to_vec();
             for r in 1..self.size {
-                let contrib = self.recv_f64_deadline(r, TAG + r as u64, wire, deadline)?;
+                let contrib =
+                    self.recv_f64_deadline(r, ALLREDUCE_BAND.for_rank(r), wire, deadline)?;
                 for (a, &c) in acc.iter_mut().zip(contrib.iter()) {
                     *a += c;
                 }
             }
             for r in 1..self.size {
-                self.send_f64(r, TAG, &acc, wire)?;
+                self.send_f64(r, ALLREDUCE_BAND.tag(), &acc, wire)?;
             }
             data.copy_from_slice(&acc);
         } else {
-            self.send_f64(0, TAG + self.rank as u64, data, wire)?;
-            let red = self.recv_f64_deadline(0, TAG, wire, deadline)?;
+            self.send_f64(0, ALLREDUCE_BAND.for_rank(self.rank), data, wire)?;
+            let red = self.recv_f64_deadline(0, ALLREDUCE_BAND.tag(), wire, deadline)?;
             data.copy_from_slice(&red);
         }
         Ok(())
@@ -678,16 +869,15 @@ impl ThreadComm {
         data: &mut [f64],
         wire: WirePrecision,
     ) -> Result<(), CommError> {
-        const TAG: u64 = (1 << 60) + 5000;
         if self.size == 1 {
             return self.check();
         }
         if self.rank == 0 {
             for r in 1..self.size {
-                self.send_f64(r, TAG, data, wire)?;
+                self.send_f64(r, BROADCAST_BAND.tag(), data, wire)?;
             }
         } else {
-            let v = self.recv_f64(0, TAG, wire)?;
+            let v = self.recv_f64(0, BROADCAST_BAND.tag(), wire)?;
             data.copy_from_slice(&v);
         }
         Ok(())
@@ -699,7 +889,6 @@ impl ThreadComm {
     /// (the former one-hot-allreduce implementation padded every hop to
     /// `size` scalars, inflating the recorded wire volume).
     pub fn allgather_scalar(&mut self, v: f64) -> Result<Vec<f64>, CommError> {
-        const TAG: u64 = (1 << 60) + 7000;
         let mut buf = vec![0.0; self.size];
         buf[self.rank] = v;
         if self.size == 1 {
@@ -711,12 +900,21 @@ impl ThreadComm {
             // r is the peer rank, not just an index into buf
             #[allow(clippy::needless_range_loop)]
             for r in 1..self.size {
-                let got =
-                    self.recv_f64_deadline(r, TAG + r as u64, WirePrecision::Fp64, deadline)?;
+                let got = self.recv_f64_deadline(
+                    r,
+                    GATHER_BAND.for_rank(r),
+                    WirePrecision::Fp64,
+                    deadline,
+                )?;
                 buf[r] = got[0];
             }
         } else {
-            self.send_f64(0, TAG + self.rank as u64, &[v], WirePrecision::Fp64)?;
+            self.send_f64(
+                0,
+                GATHER_BAND.for_rank(self.rank),
+                &[v],
+                WirePrecision::Fp64,
+            )?;
         }
         self.broadcast_f64(&mut buf, WirePrecision::Fp64)?;
         Ok(buf)
@@ -742,7 +940,10 @@ where
     T: Send,
     F: Fn(&mut ThreadComm) -> T + Send + Sync,
 {
-    assert!(n >= 1);
+    assert!(
+        n >= 1 && n as u64 <= MAX_RANKS,
+        "cluster size exceeds MAX_RANKS"
+    );
     let stats = Arc::new(CommStats::default());
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
@@ -772,8 +973,18 @@ where
 
     let results: Vec<T> = std::thread::scope(|scope| {
         let handles: Vec<_> = comms.iter_mut().map(|c| scope.spawn(|| f(c))).collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            // dftlint:allow(L001, reason="re-raise a rank thread's panic on the driver; rank panics are bugs, not recoverable comm faults")
+            .map(|h| h.join().unwrap())
+            .collect()
     });
+    // leak check only on clean shutdown: a failed rank (kill/timeout)
+    // legitimately strands messages addressed to it
+    #[cfg(feature = "sanitize")]
+    if comms.iter().all(|c| c.failed.is_none()) {
+        stats.tracker.assert_drained();
+    }
     (results, stats)
 }
 
@@ -1250,5 +1461,57 @@ mod tests {
             elapsed < Duration::from_secs(5),
             "cascade took {elapsed:?} (timeout {timeout:?})"
         );
+    }
+
+    /// The `sanitize` feature's message-leak detector and tag-band asserts.
+    #[cfg(feature = "sanitize")]
+    mod sanitizer {
+        use super::super::*;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        #[test]
+        fn clean_collectives_leave_no_messages_in_flight() {
+            // run_cluster_with itself asserts drainage at clean shutdown
+            let (results, _) = run_cluster(4, |c| {
+                c.barrier().unwrap();
+                let mut v = vec![c.rank() as f64];
+                c.allreduce_sum_f64(&mut v, WirePrecision::Fp64).unwrap();
+                let all = c.allgather_scalar(c.rank() as f64).unwrap();
+                (v[0], all.len())
+            });
+            assert_eq!(results, vec![(6.0, 4); 4]);
+        }
+
+        #[test]
+        fn leaked_message_panics_at_clean_shutdown() {
+            let leaked = catch_unwind(AssertUnwindSafe(|| {
+                run_cluster(2, |c| {
+                    if c.rank() == 0 {
+                        // sent but never received by rank 1
+                        c.send_f64(1, 9, &[1.0], WirePrecision::Fp64).unwrap();
+                    }
+                })
+            }));
+            let msg = match leaked {
+                Ok(_) => panic!("sanitizer missed a leaked message"),
+                Err(e) => *e.downcast::<String>().expect("panic payload"),
+            };
+            assert!(msg.contains("leaked message"), "unexpected panic: {msg}");
+        }
+
+        #[test]
+        fn unregistered_collective_tag_panics() {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                run_cluster(2, |c| {
+                    if c.rank() == 0 {
+                        // collective-range tag outside every declared band;
+                        // panics inside send_bytes before anything is sent,
+                        // so rank 1 must not wait on a receive
+                        let _ = c.send_bytes(1, (1 << 60) + 999_999, vec![]);
+                    }
+                })
+            }));
+            assert!(r.is_err(), "sanitizer accepted an unregistered tag");
+        }
     }
 }

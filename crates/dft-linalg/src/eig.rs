@@ -60,6 +60,7 @@ pub fn eigh<T: Scalar>(a: &Matrix<T>) -> Result<Eigh<T>, LinalgError> {
             for q in (p + 1)..n {
                 let apq = m[(p, q)];
                 let w = apq.abs().to_f64();
+                // dftlint:allow(L004, reason="exact-zero rotation skip in Jacobi sweep: a zero off-diagonal needs no rotation")
                 if w == 0.0 {
                     continue;
                 }

@@ -108,6 +108,7 @@ pub fn with_scratch<T: Scalar, R>(f: impl FnOnce(&mut Vec<T>, &mut Vec<T>) -> R)
 /// Pack the `mc x kc` block of `op(A)` starting at `(ic, pc)` into
 /// row-panels of height `MR` (layout: panel-major, then `kc` steps of `MR`
 /// contiguous rows). Partial edge panels are zero-padded to `MR`.
+// dftlint:hot
 #[allow(clippy::too_many_arguments)]
 fn pack_a<T: Scalar, const MR: usize>(
     buf: &mut Vec<T>,
@@ -161,6 +162,7 @@ fn pack_a<T: Scalar, const MR: usize>(
 /// column-panels of width `NR` (layout: panel-major, then `kc` steps of `NR`
 /// contiguous columns). `alpha` is folded in here so the microkernel is a
 /// pure multiply-accumulate.
+// dftlint:hot
 #[allow(clippy::too_many_arguments)]
 fn pack_b<T: Scalar, const NR: usize>(
     buf: &mut Vec<T>,
@@ -213,6 +215,7 @@ fn pack_b<T: Scalar, const NR: usize>(
 /// fixed-size arrays so the compiler keeps it in vector registers; edge
 /// tiles simply write back the valid `mr x nr` corner (panels are
 /// zero-padded, so the extra lanes accumulate exact zeros).
+// dftlint:hot
 #[inline]
 fn microkernel<T: Scalar, const MR: usize, const NR: usize>(
     ap: &[T],
@@ -252,6 +255,7 @@ fn microkernel<T: Scalar, const MR: usize, const NR: usize>(
 
 /// Sweep the `MR x NR` microkernel over one packed `mc x kc` A-panel times
 /// `kc x nc` B-panel pair, accumulating into `C` at offset `(ic, jc)`.
+// dftlint:hot
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel<T: Scalar, const MR: usize, const NR: usize>(
     mc: usize,
@@ -318,6 +322,7 @@ pub(crate) fn gemm_block<T: Scalar>(
     }
 }
 
+// dftlint:hot
 #[allow(clippy::too_many_arguments)]
 fn gemm_block_tiled<T: Scalar, const MR: usize, const NR: usize>(
     m: usize,

@@ -1,0 +1,175 @@
+//! A tiny `u64` const-expression evaluator over lexed tokens, used by the
+//! L003 wire-tag prover to compute `TagBand` bounds exactly as rustc would:
+//! integer literals, named `u64` consts, `u64::MAX`, parentheses, and the
+//! operators `* + - << >> |` with Rust precedence (shift binds *looser*
+//! than `+`, so `(1 << 60) + 1000` needs — and has — its parentheses).
+
+use crate::token::{Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// Named constants visible to the evaluator.
+pub type ConstEnv = BTreeMap<String, u64>;
+
+struct P<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    env: &'a ConstEnv,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_op(op)) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn primary(&mut self) -> Result<u64, String> {
+        let t = self.peek().ok_or("unexpected end of expression")?.clone();
+        match &t.kind {
+            TokKind::Int(v) => {
+                self.i += 1;
+                u64::try_from(*v).map_err(|_| format!("literal `{}` exceeds u64", t.text))
+            }
+            TokKind::Op if t.text == "(" => {
+                self.i += 1;
+                let v = self.bitor()?;
+                if !self.eat_op(")") {
+                    return Err("expected `)`".into());
+                }
+                Ok(v)
+            }
+            TokKind::Ident => {
+                self.i += 1;
+                // `u64::MAX` (or any `<ty>::MAX`) path
+                if self.eat_op("::") {
+                    let field = self
+                        .peek()
+                        .ok_or("expected path segment after `::`")?
+                        .clone();
+                    self.i += 1;
+                    return match (t.text.as_str(), field.text.as_str()) {
+                        ("u64", "MAX") => Ok(u64::MAX),
+                        ("u32", "MAX") => Ok(u64::from(u32::MAX)),
+                        _ => Err(format!("unknown const path `{}::{}`", t.text, field.text)),
+                    };
+                }
+                self.env
+                    .get(&t.text)
+                    .copied()
+                    .ok_or(format!("unknown const `{}`", t.text))
+            }
+            _ => Err(format!("unexpected token `{}` in const expression", t.text)),
+        }
+    }
+
+    fn mul(&mut self) -> Result<u64, String> {
+        let mut v = self.primary()?;
+        while self.eat_op("*") {
+            let r = self.primary()?;
+            v = v.checked_mul(r).ok_or("overflow in `*`")?;
+        }
+        Ok(v)
+    }
+
+    fn add(&mut self) -> Result<u64, String> {
+        let mut v = self.mul()?;
+        loop {
+            if self.eat_op("+") {
+                let r = self.mul()?;
+                v = v.checked_add(r).ok_or("overflow in `+`")?;
+            } else if self.eat_op("-") {
+                let r = self.mul()?;
+                v = v.checked_sub(r).ok_or("underflow in `-`")?;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn shift(&mut self) -> Result<u64, String> {
+        let mut v = self.add()?;
+        loop {
+            if self.eat_op("<<") {
+                let r = self.add()?;
+                let s = u32::try_from(r).map_err(|_| "shift amount exceeds u32")?;
+                v = v
+                    .checked_shl(s)
+                    .filter(|_| s < 64)
+                    .ok_or("overflow in `<<`")?;
+            } else if self.eat_op(">>") {
+                let r = self.add()?;
+                let s = u32::try_from(r).map_err(|_| "shift amount exceeds u32")?;
+                v = v.checked_shr(s).ok_or("overflow in `>>`")?;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn bitor(&mut self) -> Result<u64, String> {
+        let mut v = self.shift()?;
+        while self.eat_op("|") {
+            let r = self.shift()?;
+            v |= r;
+        }
+        Ok(v)
+    }
+}
+
+/// Evaluate the token slice as one complete `u64` expression.
+pub fn eval(toks: &[Tok], env: &ConstEnv) -> Result<u64, String> {
+    let mut p = P { toks, i: 0, env };
+    let v = p.bitor()?;
+    if p.i != toks.len() {
+        return Err(format!(
+            "trailing token `{}` in const expression",
+            p.toks[p.i].text
+        ));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn ev(src: &str, env: &ConstEnv) -> Result<u64, String> {
+        eval(&tokenize(src).0, env)
+    }
+
+    #[test]
+    fn rust_precedence_shift_binds_looser_than_add() {
+        let env = ConstEnv::new();
+        // in Rust, `1 << 2 + 3` is `1 << 5`
+        assert_eq!(ev("1 << 2 + 3", &env), Ok(32));
+        assert_eq!(ev("(1 << 60) + 1000", &env), Ok((1u64 << 60) + 1000));
+        assert_eq!(ev("2 * 3 + 4", &env), Ok(10));
+    }
+
+    #[test]
+    fn idents_and_paths_resolve() {
+        let mut env = ConstEnv::new();
+        env.insert("MAX_RANKS".into(), 4000);
+        assert_eq!(
+            ev("(1 << 60) + MAX_RANKS * 2", &env),
+            Ok((1u64 << 60) + 8000)
+        );
+        assert_eq!(ev("u64::MAX", &env), Ok(u64::MAX));
+        assert!(ev("UNKNOWN", &env).is_err());
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_wrap() {
+        let env = ConstEnv::new();
+        assert!(ev("1 << 64", &env).is_err());
+        assert!(ev("u64::MAX + 1", &env).is_err());
+    }
+}

@@ -1,0 +1,561 @@
+//! A hand-rolled Rust lexer: just enough token structure for the project
+//! lints. Strings, chars, lifetimes, raw strings, nested block comments,
+//! and numeric literals are recognized so that lint patterns never match
+//! inside literal or comment text; everything else becomes identifier or
+//! operator tokens with exact `line:col` positions.
+
+/// Token classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal with its parsed value (suffix/underscores stripped;
+    /// saturates at `u128::MAX` on overflow, which is already far outside
+    /// any valid wire tag).
+    Int(u128),
+    /// Float literal (has a fractional part, an exponent, or an `f32`/`f64`
+    /// suffix).
+    Float,
+    /// String literal (regular, raw, or byte).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Operator / punctuation; `text` holds the exact spelling (maximal
+    /// munch: `==`, `!=`, `<<`, `::`, ... are single tokens).
+    Op,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Exact source text (for idents/ops; literals keep their raw spelling).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in chars).
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this is the operator `s`.
+    pub fn is_op(&self, s: &str) -> bool {
+        self.kind == TokKind::Op && self.text == s
+    }
+}
+
+/// One line comment (`//`, `///`, `//!`), with the text after the first
+/// `//` and the position of the first slash. Block comments are skipped:
+/// lint directives live in line comments only.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Text after the leading `//` (doc-comment slashes included).
+    pub text: String,
+    /// 1-based line of the `//`.
+    pub line: u32,
+    /// 1-based column of the `//`.
+    pub col: u32,
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    src: std::marker::PhantomData<&'a str>,
+}
+
+/// Multi-char operators, longest first (maximal munch).
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            src: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(k, c)| self.peek(k) == Some(c))
+    }
+
+    /// Consume a `"..."` body (opening quote already consumed), returning
+    /// the raw contents (escapes unprocessed).
+    fn eat_string_body(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    s.push(c);
+                    if let Some(e) = self.bump() {
+                        s.push(e);
+                    }
+                }
+                '"' => return s,
+                _ => s.push(c),
+            }
+        }
+        s
+    }
+
+    /// Consume a raw string `r##"..."##` starting at the `r` (or after a
+    /// `b`); returns false if this is not actually a raw string opener.
+    fn try_eat_raw_string(&mut self) -> bool {
+        // at self.i: 'r', then zero or more '#', then '"'
+        let mut k = 1;
+        let mut hashes = 0;
+        while self.peek(k) == Some('#') {
+            hashes += 1;
+            k += 1;
+        }
+        if self.peek(k) != Some('"') {
+            return false;
+        }
+        for _ in 0..=k {
+            self.bump(); // r, #*, "
+        }
+        // scan for `"` followed by `hashes` '#'
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if self.peek(h) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return true;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Lex `src` into tokens plus line comments.
+pub fn tokenize(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let mut lx = Lexer::new(src);
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        // whitespace
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        // line comment
+        if c == '/' && lx.peek(1) == Some('/') {
+            lx.bump();
+            lx.bump();
+            let mut text = String::new();
+            while let Some(ch) = lx.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                lx.bump();
+            }
+            comments.push(Comment { text, line, col });
+            continue;
+        }
+        // nested block comment
+        if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump();
+            lx.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (lx.peek(0), lx.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        lx.bump();
+                        lx.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        lx.bump();
+                        lx.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        lx.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        // raw / byte strings: r"..", r#".."#, br"..", b".."
+        if c == 'r'
+            && (lx.peek(1) == Some('"') || lx.peek(1) == Some('#'))
+            && lx.try_eat_raw_string()
+        {
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == 'b' {
+            if lx.peek(1) == Some('"') {
+                lx.bump();
+                lx.bump();
+                let body = lx.eat_string_body();
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: body,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if lx.peek(1) == Some('r') && (lx.peek(2) == Some('"') || lx.peek(2) == Some('#')) {
+                lx.bump(); // b
+                if lx.try_eat_raw_string() {
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+            }
+            if lx.peek(1) == Some('\'') {
+                lx.bump(); // b
+                lx.bump(); // '
+                if lx.peek(0) == Some('\\') {
+                    lx.bump();
+                    lx.bump();
+                } else {
+                    lx.bump();
+                }
+                lx.bump(); // closing '
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+                continue;
+            }
+        }
+        // string literal
+        if c == '"' {
+            lx.bump();
+            let body = lx.eat_string_body();
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: body,
+                line,
+                col,
+            });
+            continue;
+        }
+        // char literal vs lifetime
+        if c == '\'' {
+            let is_char = match lx.peek(1) {
+                Some('\\') => true,
+                Some(ch) if ch != '\'' => lx.peek(2) == Some('\''),
+                _ => false,
+            };
+            if is_char {
+                lx.bump(); // '
+                if lx.peek(0) == Some('\\') {
+                    lx.bump();
+                    // escape body: consume until closing quote (handles \u{..})
+                    while let Some(ch) = lx.peek(0) {
+                        lx.bump();
+                        if ch == '\'' {
+                            break;
+                        }
+                    }
+                } else {
+                    lx.bump();
+                    lx.bump(); // closing '
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            } else {
+                lx.bump(); // '
+                let mut text = String::from("'");
+                while let Some(ch) = lx.peek(0) {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        text.push(ch);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        // number
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            let mut is_float = false;
+            let radix_prefix =
+                c == '0' && matches!(lx.peek(1), Some('x') | Some('o') | Some('b') | Some('X'));
+            if radix_prefix {
+                text.push(lx.bump().unwrap_or('0'));
+                text.push(lx.bump().unwrap_or('x'));
+                while let Some(ch) = lx.peek(0) {
+                    if ch.is_ascii_hexdigit() || ch == '_' {
+                        text.push(ch);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                while let Some(ch) = lx.peek(0) {
+                    if ch.is_ascii_digit() || ch == '_' {
+                        text.push(ch);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // fractional part: `.` followed by a digit (so `0..n` and
+                // `1.max(..)` stay integers)
+                if lx.peek(0) == Some('.') && lx.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    is_float = true;
+                    text.push('.');
+                    lx.bump();
+                    while let Some(ch) = lx.peek(0) {
+                        if ch.is_ascii_digit() || ch == '_' {
+                            text.push(ch);
+                            lx.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                } else if lx.peek(0) == Some('.')
+                    && lx
+                        .peek(1)
+                        .is_none_or(|ch| !ch.is_alphabetic() && ch != '.' && ch != '_')
+                {
+                    // trailing-dot float like `1.`
+                    is_float = true;
+                    text.push('.');
+                    lx.bump();
+                }
+                // exponent
+                if matches!(lx.peek(0), Some('e') | Some('E')) {
+                    let sign = matches!(lx.peek(1), Some('+') | Some('-'));
+                    let digit_at = if sign { 2 } else { 1 };
+                    if lx.peek(digit_at).is_some_and(|d| d.is_ascii_digit()) {
+                        is_float = true;
+                        text.push(lx.bump().unwrap_or('e'));
+                        if sign {
+                            text.push(lx.bump().unwrap_or('+'));
+                        }
+                        while let Some(ch) = lx.peek(0) {
+                            if ch.is_ascii_digit() || ch == '_' {
+                                text.push(ch);
+                                lx.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // suffix (u64, usize, f64, ...)
+            let mut suffix = String::new();
+            while let Some(ch) = lx.peek(0) {
+                if ch.is_alphanumeric() || ch == '_' {
+                    suffix.push(ch);
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+            if suffix.starts_with("f32") || suffix.starts_with("f64") {
+                is_float = true;
+            }
+            let kind = if is_float {
+                TokKind::Float
+            } else {
+                let digits: String = text.chars().filter(|&ch| ch != '_').collect();
+                let value =
+                    if let Some(hex) = digits.strip_prefix("0x").or(digits.strip_prefix("0X")) {
+                        u128::from_str_radix(hex, 16)
+                    } else if let Some(oct) = digits.strip_prefix("0o") {
+                        u128::from_str_radix(oct, 8)
+                    } else if let Some(bin) = digits.strip_prefix("0b") {
+                        u128::from_str_radix(bin, 2)
+                    } else {
+                        digits.parse::<u128>()
+                    };
+                TokKind::Int(value.unwrap_or(u128::MAX))
+            };
+            toks.push(Tok {
+                kind,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // identifier / keyword
+        if c.is_alphabetic() || c == '_' {
+            let mut text = String::new();
+            while let Some(ch) = lx.peek(0) {
+                if ch.is_alphanumeric() || ch == '_' {
+                    text.push(ch);
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // operators: maximal munch
+        let mut matched = false;
+        for op in OPS {
+            if lx.starts_with(op) {
+                for _ in 0..op.len() {
+                    lx.bump();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Op,
+                    text: (*op).to_string(),
+                    line,
+                    col,
+                });
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            lx.bump();
+            toks.push(Tok {
+                kind: TokKind::Op,
+                text: c.to_string(),
+                line,
+                col,
+            });
+        }
+    }
+    (toks, comments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        tokenize(src).0.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_classify_correctly() {
+        assert_eq!(kinds("42"), vec![TokKind::Int(42)]);
+        assert_eq!(kinds("0x10"), vec![TokKind::Int(16)]);
+        assert_eq!(kinds("1_000u64"), vec![TokKind::Int(1000)]);
+        assert_eq!(kinds("1.5"), vec![TokKind::Float]);
+        assert_eq!(kinds("1e-3"), vec![TokKind::Float]);
+        assert_eq!(kinds("2f64"), vec![TokKind::Float]);
+    }
+
+    #[test]
+    fn range_and_method_on_int_stay_integers() {
+        let t = tokenize("0..n").0;
+        assert_eq!(t[0].kind, TokKind::Int(0));
+        assert!(t[1].is_op(".."));
+        let t = tokenize("1.max(x)").0;
+        assert_eq!(t[0].kind, TokKind::Int(1));
+        assert!(t[1].is_op("."));
+    }
+
+    #[test]
+    fn strings_and_chars_hide_their_contents() {
+        let (t, _) = tokenize(r#"let s = "a.unwrap() == 0.0"; let c = '"'; let l: &'a str;"#);
+        assert!(!t.iter().any(|x| x.is_ident("unwrap")));
+        assert!(t.iter().any(|x| x.kind == TokKind::Char));
+        assert!(t
+            .iter()
+            .any(|x| x.kind == TokKind::Lifetime && x.text == "'a"));
+    }
+
+    #[test]
+    fn raw_strings_and_block_comments_skip() {
+        let (t, c) = tokenize("r#\"panic!()\"# /* vec![ /* nested */ ] */ x // tail");
+        assert!(!t.iter().any(|x| x.is_ident("panic") || x.is_ident("vec")));
+        assert!(t.iter().any(|x| x.is_ident("x")));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].text, " tail");
+    }
+
+    #[test]
+    fn operators_munch_maximally() {
+        let t = tokenize("a == b != c << 2 :: d").0;
+        let ops: Vec<&str> = t
+            .iter()
+            .filter(|x| x.kind == TokKind::Op)
+            .map(|x| x.text.as_str())
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "<<", "::"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let t = tokenize("a\n  bb").0;
+        assert_eq!((t[0].line, t[0].col), (1, 1));
+        assert_eq!((t[1].line, t[1].col), (2, 3));
+    }
+}

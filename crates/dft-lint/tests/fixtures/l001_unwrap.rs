@@ -1,0 +1,37 @@
+// dftlint:fixture(crate="dft-hpc", file="solver.rs")
+// L001: panic paths are banned in non-test code of the fault-tolerant
+// crates; test modules and justified suppressions are exempt.
+
+fn risky(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn message(r: Result<u32, String>) -> u32 {
+    r.expect("boom")
+}
+
+fn explode() {
+    panic!("no");
+}
+
+fn cant_happen() -> ! {
+    unreachable!()
+}
+
+fn excused(x: Option<u32>) -> u32 {
+    // dftlint:allow(L001, reason="prototype path retained for the profiler demo")
+    x.unwrap()
+}
+
+fn trailing_excused(x: Option<u32>) -> u32 {
+    x.unwrap() // dftlint:allow(L001, reason="caller validated x above")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_panics_are_fine() {
+        None::<u32>.unwrap();
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,34 @@
+// dftlint:fixture(crate="dft-hpc", file="comm.rs")
+// L003: a well-formed registry — bands pairwise disjoint on the wire,
+// rank-indexed bands exactly MAX_RANKS wide, everything inside
+// COLLECTIVE_TAGS. Must produce no diagnostics.
+
+pub const MAX_RANKS: u64 = 4000;
+pub const COLLECTIVE_TAGS: (u64, u64) = (1 << 60, u64::MAX);
+
+pub const BARRIER_BAND: TagBand = TagBand {
+    name: "barrier",
+    base: (1 << 60) + 1,
+    width: 1,
+    raw: true,
+};
+
+pub const ALLREDUCE_BAND: TagBand = TagBand {
+    name: "allreduce",
+    base: (1 << 60) + 1000,
+    width: MAX_RANKS,
+    raw: false,
+};
+
+pub const BROADCAST_BAND: TagBand = TagBand {
+    name: "broadcast",
+    base: (1 << 60) + 5000,
+    width: 1,
+    raw: false,
+};
+
+pub const TAG_BANDS: [TagBand; 3] = [BARRIER_BAND, ALLREDUCE_BAND, BROADCAST_BAND];
+
+fn barrier_tag() -> u64 {
+    BARRIER_BAND.tag()
+}

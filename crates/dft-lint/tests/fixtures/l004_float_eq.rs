@@ -1,0 +1,30 @@
+// dftlint:fixture(crate="dft-hpc", file="mixer.rs")
+// L004: float equality anywhere, hash containers in the deterministic
+// reduction crates; tolerance comparisons and justified sentinels pass.
+
+use std::collections::HashMap;
+
+fn converged(delta: f64) -> bool {
+    delta == 0.0
+}
+
+fn not_converged(delta: f64) -> bool {
+    delta != 1.0e-8
+}
+
+fn negated(delta: f64) -> bool {
+    delta == -0.5
+}
+
+fn tolerant(delta: f64) -> bool {
+    delta.abs() < 1.0e-12
+}
+
+fn lookup(map: &HashMap<u32, f64>) -> usize {
+    map.len()
+}
+
+// dftlint:allow(L004, reason="exact sentinel: the producer stores this literal, never a computed value")
+fn sentinel(x: f64) -> bool {
+    x == 5.0
+}

@@ -1,0 +1,18 @@
+// dftlint:fixture(crate="dft-linalg", file="kernels.rs")
+// L005: allocation inside a `dftlint:hot` body; identical calls in cold
+// functions are fine.
+
+// dftlint:hot
+fn microkernel(acc: &mut [f64], a: &[f64], b: &[f64]) {
+    let mut tmp = Vec::new();
+    let copied = a.to_vec();
+    let doubled: Vec<f64> = b.iter().map(|x| x * 2.0).collect();
+    let cloned = copied.clone();
+    let stackish = vec![0.0; 8];
+    tmp.extend_from_slice(&stackish);
+    acc[0] = doubled[0] + cloned[0] + tmp[0];
+}
+
+fn cold_path(a: &[f64]) -> Vec<f64> {
+    a.to_vec()
+}

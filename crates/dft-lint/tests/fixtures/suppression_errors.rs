@@ -1,0 +1,24 @@
+// dftlint:fixture(crate="dft-hpc", file="solver.rs")
+// L000: malformed suppression directives are themselves diagnostics, and
+// a malformed `allow` suppresses nothing.
+
+// dftlint:allow(L001)
+fn missing_reason(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// dftlint:allow(L001, reason="")
+fn empty_reason(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// dftlint:allow(L999, reason="no such lint")
+fn unknown_id(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// dftlint:frobnicate
+fn unknown_directive() {}
+
+// dftlint:hot
+const NOT_A_FN: u32 = 3;

@@ -118,14 +118,17 @@ impl<'a> Cur<'a> {
     }
 
     fn u32(&mut self) -> io::Result<u32> {
+        // dftlint:allow(L001, reason="take(4) returns exactly 4 bytes or errors; try_into cannot fail")
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> io::Result<u64> {
+        // dftlint:allow(L001, reason="take(8) returns exactly 8 bytes or errors; try_into cannot fail")
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     fn f64(&mut self) -> io::Result<f64> {
+        // dftlint:allow(L001, reason="take(8) returns exactly 8 bytes or errors; try_into cannot fail")
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
@@ -340,6 +343,7 @@ fn read_verified(path: &Path) -> io::Result<Vec<u8>> {
         return Err(bad("checkpoint file too short"));
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
+    // dftlint:allow(L001, reason="split_at(len - 8) makes tail exactly 8 bytes; try_into cannot fail")
     let stored = u64::from_le_bytes(tail.try_into().unwrap());
     if fnv1a(body) != stored {
         return Err(bad(format!("checksum mismatch in {}", path.display())));
@@ -433,6 +437,7 @@ fn absorb_shard<T: WireScalar>(
     }
     let mut owned = Vec::with_capacity(n_owned);
     for _ in 0..n_owned {
+        // dftlint:allow(L001, reason="take(4) returns exactly 4 bytes or errors; try_into cannot fail")
         let d = u32::from_le_bytes(cur.take(4)?.try_into().unwrap());
         if d as usize >= h.ndofs {
             return Err(bad("owned DoF id out of range"));

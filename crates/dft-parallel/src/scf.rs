@@ -176,6 +176,7 @@ trait ScalarExt: WireScalar {
 }
 impl ScalarExt for f64 {
     fn imag() -> Self {
+        // dftlint:allow(L001, reason="guarded by T::IS_COMPLEX at the only call site; f64 path is unreachable")
         panic!("no imaginary unit in f64")
     }
 }
@@ -189,6 +190,7 @@ impl ScalarExt for C64 {
 fn phases_for<T: ScalarExt>(space: &FeSpace, k: &KPoint) -> [T; 3] {
     let mut ph = [T::ONE; 3];
     for d in 0..3 {
+        // dftlint:allow(L004, reason="exact Gamma-point sentinel: k.frac is set to literal 0.0, never computed")
         if space.mesh.axes[d].bc() == BoundaryCondition::Periodic && k.frac[d] != 0.0 {
             let theta = 2.0 * std::f64::consts::PI * k.frac[d];
             if T::IS_COMPLEX {

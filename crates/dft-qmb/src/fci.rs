@@ -348,6 +348,7 @@ impl<'a> FciProblem<'a> {
         let mut d = vec![0.0; no * no];
         for (i, &(a, b)) in self.dets.iter().enumerate() {
             let ci = c[i];
+            // dftlint:allow(L004, reason="exact-zero amplitude skip: avoids accumulating terms that contribute nothing")
             if ci == 0.0 {
                 continue;
             }

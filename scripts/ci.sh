@@ -13,6 +13,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo bench --no-run"
 cargo bench --offline --workspace --no-run
 
+echo "==> dft-lint (project invariants)"
+cargo run -q --offline --release -p dft-lint -- --workspace --deny-all
+
 echo "==> cargo build --release"
 cargo build --offline --release --workspace
 
@@ -24,6 +27,10 @@ cargo test -q --offline -p dft-parallel
 
 echo "==> fault-injection suite (kills, timeouts, checkpoint/restart recovery)"
 cargo test -q --offline --release -p dft-parallel --test fault_tolerance
+
+echo "==> comm sanitizer (debug profile): message-leak + tag-band runtime checks"
+cargo test -q --offline -p dft-hpc --features sanitize comm::
+cargo test -q --offline -p dft-parallel --features sanitize --test fault_tolerance
 
 echo "==> BENCH_scaling.json schema check"
 cargo run -q --offline --release -p dft-bench --bin bench_scaling -- --check BENCH_scaling.json
