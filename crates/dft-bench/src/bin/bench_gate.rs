@@ -1,0 +1,132 @@
+//! Perf-regression gate over `BENCH_kernels.json` artifacts.
+//!
+//! Compares a committed baseline against a freshly measured candidate and
+//! fails (exit code 1) when any kernel/case loses more than the tolerated
+//! fraction of its `blocked_gflops` throughput — the CI tripwire against
+//! quietly reverting the SIMD microkernel engine to scalar code.
+//!
+//! ```text
+//! bench_gate <baseline.json> <candidate.json> [--tol 0.15]
+//! ```
+//!
+//! A case present in the baseline but missing from the candidate is a
+//! failure too (a silently dropped benchmark would otherwise dodge the
+//! gate). New candidate-only cases are reported but never fail. CI can skip
+//! the whole gate with `DFT_BENCH_GATE=off` (see `scripts/ci.sh`) — e.g. on
+//! a loaded machine where timings are meaningless.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+struct Case {
+    kernel: String,
+    case: String,
+    gflops: f64,
+}
+
+fn load_cases(path: &str) -> Vec<Case> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+    let root: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("bench_gate: {path} is not valid JSON: {e}"));
+    let results = root
+        .get("results")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("bench_gate: {path} has no `results` array"));
+    results
+        .iter()
+        .filter_map(|r| {
+            let gflops = r.get("blocked_gflops")?.as_f64()?;
+            if gflops <= 0.0 {
+                return None;
+            }
+            Some(Case {
+                kernel: r.get("kernel")?.as_str()?.to_string(),
+                case: r.get("case")?.as_str()?.to_string(),
+                gflops,
+            })
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tol = 0.15f64;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tol" {
+            let v = it.next().expect("bench_gate: --tol needs a value");
+            tol = v.parse().expect("bench_gate: --tol must be a number");
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <candidate.json> [--tol 0.15]");
+        return ExitCode::from(2);
+    };
+
+    let baseline = load_cases(baseline_path);
+    let candidate = load_cases(candidate_path);
+    println!(
+        "bench_gate: {} baseline cases vs {} candidate cases, tolerance {:.0}%",
+        baseline.len(),
+        candidate.len(),
+        tol * 100.0
+    );
+
+    let mut failures = 0usize;
+    for b in &baseline {
+        let key = format!("{:<16} {:<24}", b.kernel, b.case);
+        match candidate
+            .iter()
+            .find(|c| c.kernel == b.kernel && c.case == b.case)
+        {
+            None => {
+                println!(
+                    "{key} MISSING from candidate (baseline {:.2} GFLOP/s)",
+                    b.gflops
+                );
+                failures += 1;
+            }
+            Some(c) => {
+                let ratio = c.gflops / b.gflops;
+                let ok = ratio >= 1.0 - tol;
+                println!(
+                    "{key} {:>8.2} -> {:>8.2} GFLOP/s  ({:+6.1}%)  {}",
+                    b.gflops,
+                    c.gflops,
+                    (ratio - 1.0) * 100.0,
+                    if ok { "ok" } else { "REGRESSION" }
+                );
+                if !ok {
+                    failures += 1;
+                }
+            }
+        }
+    }
+    for c in &candidate {
+        if !baseline
+            .iter()
+            .any(|b| b.kernel == c.kernel && b.case == c.case)
+        {
+            println!(
+                "{:<16} {:<24} new case ({:.2} GFLOP/s), not gated",
+                c.kernel, c.case, c.gflops
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: FAILED — {failures} case(s) regressed more than {:.0}% \
+             (rerun on an idle machine, or set DFT_BENCH_GATE=off to skip)",
+            tol * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: ok");
+        ExitCode::SUCCESS
+    }
+}

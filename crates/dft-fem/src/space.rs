@@ -742,9 +742,11 @@ impl FeSpace {
 
     /// Sum-factorized stiffness on [`COL_BLOCK`] interleaved column lanes:
     /// the same three directional sweeps as [`Self::cell_stiffness_apply`],
-    /// with each accumulator widened to a fixed lane array so the compiler
-    /// vectorizes across block columns. Per lane the arithmetic (order and
-    /// all) is identical to the single-column kernel.
+    /// with each accumulator widened to a fixed lane array and the
+    /// column-blocked inner products running through `Scalar::lane_fma`
+    /// (packed FMA for f64/f32 via the `dft_linalg::simd` engine). Per lane
+    /// the contraction order is identical to the single-column kernel; the
+    /// fused multiply-adds round once per term instead of twice.
     fn cell_stiffness_apply_block<T: Scalar>(&self, h: [f64; 3], x_loc: &[T], y_loc: &mut [T]) {
         const CB: usize = COL_BLOCK;
         let n1 = self.mesh.degree + 1;
@@ -765,14 +767,10 @@ impl FeSpace {
                     for j in 0..n1 {
                         let kij = T::Re::from_f64(b.k(i, j));
                         let xv = lane(x_loc, base + j);
-                        for t in 0..CB {
-                            acc[t] += xv[t].scale(kij);
-                        }
+                        T::lane_fma(&mut acc, &xv, kij);
                     }
                     let yv = &mut y_loc[(base + i) * CB..(base + i + 1) * CB];
-                    for t in 0..CB {
-                        yv[t] += acc[t].scale(scale);
-                    }
+                    T::lane_fma(yv, &acc, scale);
                 }
             }
         }
@@ -786,14 +784,10 @@ impl FeSpace {
                     for j in 0..n1 {
                         let kij = T::Re::from_f64(b.k(i, j));
                         let xv = lane(x_loc, base + j * n1);
-                        for t in 0..CB {
-                            acc[t] += xv[t].scale(kij);
-                        }
+                        T::lane_fma(&mut acc, &xv, kij);
                     }
                     let yv = &mut y_loc[(base + i * n1) * CB..(base + i * n1) * CB + CB];
-                    for t in 0..CB {
-                        yv[t] += acc[t].scale(scale);
-                    }
+                    T::lane_fma(yv, &acc, scale);
                 }
             }
         }
@@ -808,14 +802,10 @@ impl FeSpace {
                     for j in 0..n1 {
                         let kij = T::Re::from_f64(b.k(i, j));
                         let xv = lane(x_loc, base + j * n2);
-                        for t in 0..CB {
-                            acc[t] += xv[t].scale(kij);
-                        }
+                        T::lane_fma(&mut acc, &xv, kij);
                     }
                     let yv = &mut y_loc[(base + i * n2) * CB..(base + i * n2) * CB + CB];
-                    for t in 0..CB {
-                        yv[t] += acc[t].scale(scale);
-                    }
+                    T::lane_fma(yv, &acc, scale);
                 }
             }
         }

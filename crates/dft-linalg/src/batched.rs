@@ -51,6 +51,60 @@ impl BatchLayout {
     }
 }
 
+/// Validate a batched layout and its buffers up front, with actionable
+/// messages. Both [`batched_gemm`] and [`batched_gemm_reference`] call this
+/// before touching any data, so degenerate layouts (e.g. `stride_c <
+/// m * n`, which used to surface as a bare `chunks_mut(0)` panic deep in
+/// the slab loop) fail identically and intelligibly from either entry
+/// point.
+fn validate_layout<T>(layout: &BatchLayout, a: &[T], b: &[T], c: &[T]) {
+    let BatchLayout {
+        m,
+        n,
+        k,
+        batch,
+        stride_a,
+        stride_b,
+        stride_c,
+    } = *layout;
+    if batch == 0 {
+        return;
+    }
+    assert!(
+        stride_a >= m * k,
+        "batched_gemm: stride_a ({stride_a}) must be >= m*k ({})",
+        m * k
+    );
+    assert!(
+        stride_b >= k * n,
+        "batched_gemm: stride_b ({stride_b}) must be >= k*n ({})",
+        k * n
+    );
+    assert!(
+        stride_c >= m * n,
+        "batched_gemm: stride_c ({stride_c}) must be >= m*n ({})",
+        m * n
+    );
+    assert!(
+        a.len() >= (batch - 1) * stride_a + m * k,
+        "batched_gemm: A buffer too short ({} < {}) for batch {batch}",
+        a.len(),
+        (batch - 1) * stride_a + m * k
+    );
+    assert!(
+        b.len() >= (batch - 1) * stride_b + k * n,
+        "batched_gemm: B buffer too short ({} < {}) for batch {batch}",
+        b.len(),
+        (batch - 1) * stride_b + k * n
+    );
+    assert!(
+        c.len() >= (batch - 1) * stride_c + m * n,
+        "batched_gemm: C buffer too short ({} < {}) for batch {batch}",
+        c.len(),
+        (batch - 1) * stride_c + m * n
+    );
+}
+
 /// `C_i = alpha * A_i * B_i + beta * C_i` for every batch member `i`.
 ///
 /// All matrices are column-major within their stride windows. Parallel over
@@ -77,10 +131,8 @@ pub fn batched_gemm<T: Scalar>(
         stride_b,
         stride_c,
     } = layout;
-    assert!(a.len() >= batch.saturating_sub(1) * stride_a + m * k || batch == 0);
-    assert!(b.len() >= batch.saturating_sub(1) * stride_b + k * n || batch == 0);
-    assert!(c.len() >= batch * stride_c || batch == 0);
-    if batch == 0 {
+    validate_layout(&layout, a, b, c);
+    if batch == 0 || m * n == 0 {
         return;
     }
 
@@ -123,9 +175,10 @@ pub fn batched_gemm_reference<T: Scalar>(
         stride_b,
         stride_c,
     } = layout;
-    assert!(a.len() >= batch.saturating_sub(1) * stride_a + m * k || batch == 0);
-    assert!(b.len() >= batch.saturating_sub(1) * stride_b + k * n || batch == 0);
-    assert!(c.len() >= batch * stride_c || batch == 0);
+    validate_layout(&layout, a, b, c);
+    if batch == 0 || m * n == 0 {
+        return;
+    }
 
     c.par_chunks_mut(stride_c)
         .take(batch)
@@ -210,6 +263,72 @@ mod tests {
             acc += a[9 + l * 3] * b[6 + l];
         }
         assert!((c[6] - acc).abs() < 1e-13);
+    }
+
+    fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> Option<String> {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let got = std::panic::catch_unwind(f).err().map(|e| {
+            e.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default()
+        });
+        std::panic::set_hook(hook);
+        got
+    }
+
+    #[test]
+    fn degenerate_layouts_fail_identically_with_clear_messages() {
+        // stride_c too small for the member shape: used to die inside the
+        // slab loop with a bare `chunks cannot have a size of zero`.
+        let bad_c = BatchLayout {
+            stride_c: 3,
+            ..BatchLayout::packed(2, 2, 2, 2)
+        };
+        let (a, b) = (vec![0.0_f64; 8], vec![0.0_f64; 8]);
+        let msg = panic_message(|| {
+            let mut c = vec![0.0_f64; 8];
+            batched_gemm(bad_c, 1.0, &a, &b, 0.0, &mut c);
+        })
+        .expect("must panic");
+        assert!(msg.contains("stride_c (3) must be >= m*n (4)"), "{msg}");
+        let msg_ref = panic_message(|| {
+            let mut c = vec![0.0_f64; 8];
+            batched_gemm_reference(bad_c, 1.0, &a, &b, 0.0, &mut c);
+        })
+        .expect("must panic");
+        assert_eq!(msg, msg_ref, "both paths must agree on error behavior");
+
+        // Short operand buffer.
+        let layout = BatchLayout::packed(2, 2, 2, 3);
+        let msg = panic_message(|| {
+            let mut c = vec![0.0_f64; 12];
+            batched_gemm(layout, 1.0, &[0.0_f64; 8], &[0.0_f64; 12], 0.0, &mut c);
+        })
+        .expect("must panic");
+        assert!(msg.contains("A buffer too short (8 < 12)"), "{msg}");
+        let msg_ref = panic_message(|| {
+            let mut c = vec![0.0_f64; 12];
+            batched_gemm_reference(layout, 1.0, &[0.0_f64; 8], &[0.0_f64; 12], 0.0, &mut c);
+        })
+        .expect("must panic");
+        assert_eq!(msg, msg_ref);
+    }
+
+    #[test]
+    fn empty_batch_and_empty_members_are_no_ops() {
+        // batch == 0: nothing validated, nothing touched (both paths).
+        let layout = BatchLayout::packed(4, 4, 4, 0);
+        let mut c: Vec<f64> = vec![7.0; 4];
+        batched_gemm(layout, 1.0, &[], &[], 0.0, &mut c);
+        batched_gemm_reference(layout, 1.0, &[], &[], 0.0, &mut c);
+        assert!(c.iter().all(|&v| v.to_bits() == 7.0f64.to_bits()));
+        // m*n == 0 with zero strides: formerly a chunks_mut(0) panic.
+        let empty = BatchLayout::packed(0, 0, 3, 2);
+        batched_gemm(empty, 1.0, &[], &[], 0.0, &mut c);
+        batched_gemm_reference(empty, 1.0, &[], &[], 0.0, &mut c);
+        assert!(c.iter().all(|&v| v.to_bits() == 7.0f64.to_bits()));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! benchmarks.
 
 use crate::matrix::Matrix;
-use crate::pack::{gemm_block, with_pack_buf, NC};
+use crate::pack::{gemm_block, with_pack_buf, with_scratch3};
 use crate::scalar::Scalar;
 use rayon::prelude::*;
 
@@ -51,33 +51,62 @@ pub fn gemm<T: Scalar>(
     assert_eq!(ak, bk, "gemm: inner-dimension mismatch");
     let k = ak;
 
+    gemm_slices(
+        m,
+        n,
+        k,
+        alpha,
+        a.as_slice(),
+        a.nrows(),
+        opa == Op::ConjTrans,
+        b.as_slice(),
+        b.nrows(),
+        opb == Op::ConjTrans,
+        beta,
+        c.as_mut_slice(),
+    );
+}
+
+/// Slice-level GEMM driver: `C = alpha * op(A) * op(B) + beta * C` on raw
+/// column-major storage, with `C` packed (`ldc == m`). This is [`gemm`]
+/// minus the shape bookkeeping; the mixed-precision path calls it directly
+/// on scratch buffers so it never has to build low-precision `Matrix`
+/// temporaries.
+// dftlint:hot
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slices<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    a_trans: bool,
+    b: &[T],
+    ldb: usize,
+    b_trans: bool,
+    beta: T,
+    c: &mut [T],
+) {
+    debug_assert_eq!(c.len(), m * n, "gemm_slices: C must be packed m x n");
     // beta pass over all of C first, so the blocked accumulation below is a
     // pure `C += ...` regardless of how k is sliced into KC slabs.
-    {
-        let cs = c.as_mut_slice();
-        if beta == T::ZERO {
-            cs.fill(T::ZERO);
-        } else if beta != T::ONE {
-            for v in cs.iter_mut() {
-                *v *= beta;
-            }
+    if beta == T::ZERO {
+        c.fill(T::ZERO);
+    } else if beta != T::ONE {
+        for v in c.iter_mut() {
+            *v *= beta;
         }
     }
     if m == 0 || n == 0 || k == 0 || alpha == T::ZERO {
         return;
     }
 
-    let lda = a.nrows();
-    let ldb = b.nrows();
-    let a_trans = opa == Op::ConjTrans;
-    let b_trans = opb == Op::ConjTrans;
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    c.as_mut_slice()
-        .par_chunks_mut(m * NC)
+    let nc_slab = crate::autotune::blocking().2;
+    c.par_chunks_mut(m * nc_slab)
         .enumerate()
         .for_each(|(slab, cblk)| {
-            let jc = slab * NC;
+            let jc = slab * nc_slab;
             let ncb = cblk.len() / m;
             // Shift B so column jc of op(B) becomes column 0 of the slab.
             let boff = if b_trans { jc } else { jc * ldb };
@@ -87,10 +116,10 @@ pub fn gemm<T: Scalar>(
                     ncb,
                     k,
                     alpha,
-                    a_data,
+                    a,
                     lda,
                     a_trans,
-                    &b_data[boff..],
+                    &b[boff..],
                     ldb,
                     b_trans,
                     cblk,
@@ -222,6 +251,12 @@ pub fn matmul<T: Scalar>(a: &Matrix<T>, opa: Op, b: &Matrix<T>, opb: Op) -> Matr
 /// RR-SR steps: off-diagonal blocks carry data that is converging to zero
 /// (or rotations close to identity), so FP32 precision suffices while
 /// halving bandwidth and (on real GPUs) doubling throughput.
+///
+/// Demotion, the low-precision product and the promotion all run through
+/// this thread's recycled [`with_scratch3`] buffers, so the steady-state
+/// mixed-precision CF loop performs zero heap allocations here (the seed
+/// version built two full temporary matrices per call).
+// dftlint:hot
 pub fn gemm_mixed<T: Scalar>(
     alpha: T,
     a: &Matrix<T>,
@@ -231,25 +266,64 @@ pub fn gemm_mixed<T: Scalar>(
     beta: T,
     c: &mut Matrix<T>,
 ) {
-    let al = a.to_low();
-    let bl = b.to_low();
-    let mut cl: Matrix<T::Low> = Matrix::zeros(c.nrows(), c.ncols());
-    gemm(
-        <T::Low as Scalar>::ONE,
-        &al,
-        opa,
-        &bl,
-        opb,
-        <T::Low as Scalar>::ZERO,
-        &mut cl,
-    );
-    let promoted = Matrix::<T>::from_low(&cl);
-    if beta == T::ZERO {
-        c.fill(T::ZERO);
-    } else if beta != T::ONE {
-        c.scale_inplace(beta);
-    }
-    c.axpy_inplace(alpha, &promoted);
+    let (m, n) = c.shape();
+    let (am, ak) = match opa {
+        Op::None => a.shape(),
+        Op::ConjTrans => (a.ncols(), a.nrows()),
+    };
+    let (bk, bn) = match opb {
+        Op::None => b.shape(),
+        Op::ConjTrans => (b.ncols(), b.nrows()),
+    };
+    assert_eq!(am, m, "gemm: row mismatch");
+    assert_eq!(bn, n, "gemm: col mismatch");
+    assert_eq!(ak, bk, "gemm: inner-dimension mismatch");
+    let k = ak;
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    with_scratch3::<T::Low, _>(|al, bl, cl| {
+        if al.len() < a_data.len() {
+            al.resize(a_data.len(), <T::Low as Scalar>::ZERO);
+        }
+        if bl.len() < b_data.len() {
+            bl.resize(b_data.len(), <T::Low as Scalar>::ZERO);
+        }
+        if cl.len() < m * n {
+            cl.resize(m * n, <T::Low as Scalar>::ZERO);
+        }
+        for (d, &s) in al.iter_mut().zip(a_data.iter()) {
+            *d = s.to_low();
+        }
+        for (d, &s) in bl.iter_mut().zip(b_data.iter()) {
+            *d = s.to_low();
+        }
+        gemm_slices(
+            m,
+            n,
+            k,
+            <T::Low as Scalar>::ONE,
+            &al[..a_data.len()],
+            a.nrows(),
+            opa == Op::ConjTrans,
+            &bl[..b_data.len()],
+            b.nrows(),
+            opb == Op::ConjTrans,
+            <T::Low as Scalar>::ZERO,
+            &mut cl[..m * n],
+        );
+        // Promote and combine in one pass: c = beta * c + alpha * promote(cl).
+        let cs = c.as_mut_slice();
+        if beta == T::ZERO {
+            for (cv, &lv) in cs.iter_mut().zip(cl.iter()) {
+                *cv = alpha * T::from_low(lv);
+            }
+        } else {
+            for (cv, &lv) in cs.iter_mut().zip(cl.iter()) {
+                *cv = beta * *cv + alpha * T::from_low(lv);
+            }
+        }
+    });
 }
 
 /// FLOP count of a `(m x k) * (k x n)` GEMM for scalar type `T`

@@ -22,9 +22,11 @@
 //! * [`lowdin`] — Löwdin (symmetric) orthonormalization.
 
 #![deny(unsafe_code)]
+// simd.rs opts back in locally for std::arch intrinsics
 // indexed loops deliberately mirror the paper's subscript notation
 #![allow(clippy::needless_range_loop)]
 
+pub mod autotune;
 pub mod batched;
 pub mod blas1;
 pub mod chol;
@@ -35,6 +37,7 @@ pub mod lowdin;
 pub mod matrix;
 pub mod pack;
 pub mod scalar;
+pub mod simd;
 
 pub use batched::{batched_gemm, batched_gemm_reference, BatchLayout};
 pub use blas1::{axpy, dot, nrm2, scal};
@@ -44,5 +47,6 @@ pub use gemm::{gemm, gemm_mixed, gemm_reference, Op};
 pub use iterative::{block_minres, cg, minres, IterStats, LinearOperator, Preconditioner};
 pub use lowdin::lowdin_orthonormalize;
 pub use matrix::Matrix;
-pub use pack::{with_pack_buf, with_scratch, PackBuf};
+pub use pack::{with_pack_buf, with_scratch, with_scratch3, PackBuf};
 pub use scalar::{Real, Scalar, C32, C64};
+pub use simd::SimdTier;

@@ -27,15 +27,18 @@
 //! sweep.
 
 use crate::scalar::Scalar;
+use crate::simd::{self, SimdTier};
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-/// Rows of `A` packed per cache block (`A` panel is `MC x KC`).
+/// Default rows of `A` packed per cache block (`A` panel is `MC x KC`).
+/// The live value is [`crate::autotune::blocking`], which starts at these
+/// defaults and is overridden by the per-machine tuning profile.
 pub const MC: usize = 128;
-/// Depth of the shared inner dimension per cache block.
+/// Default depth of the shared inner dimension per cache block.
 pub const KC: usize = 256;
-/// Columns of `B` packed per cache block (`B` panel is `KC x NC`).
+/// Default columns of `B` packed per cache block (`B` panel is `KC x NC`).
 pub const NC: usize = 512;
 
 /// Reused packing buffers for one thread: the `MC x KC` A-panel and the
@@ -99,6 +102,34 @@ pub fn with_scratch<T: Scalar, R>(f: impl FnOnce(&mut Vec<T>, &mut Vec<T>) -> R)
                 .downcast_mut::<(Vec<T>, Vec<T>)>()
                 .expect("scratch pool type");
             f(x, y)
+        };
+        pool.borrow_mut().insert(TypeId::of::<T>(), boxed);
+        out
+    })
+}
+
+thread_local! {
+    /// Per-thread pool of scratch vector triples (mixed-precision GEMM
+    /// demote/promote buffers), keyed by scalar type.
+    static SCRATCH3_POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// Run `f` with this thread's recycled triple of scratch vectors for scalar
+/// type `T` (the mixed-precision GEMM's demoted `A`/`B` and low-precision
+/// `C` accumulator live here so the hot path never allocates).
+pub fn with_scratch3<T: Scalar, R>(
+    f: impl FnOnce(&mut Vec<T>, &mut Vec<T>, &mut Vec<T>) -> R,
+) -> R {
+    SCRATCH3_POOL.with(|pool| {
+        let mut boxed = pool
+            .borrow_mut()
+            .remove(&TypeId::of::<T>())
+            .unwrap_or_else(|| Box::new((Vec::<T>::new(), Vec::<T>::new(), Vec::<T>::new())));
+        let out = {
+            let (x, y, z) = boxed
+                .downcast_mut::<(Vec<T>, Vec<T>, Vec<T>)>()
+                .expect("scratch3 pool type");
+            f(x, y, z)
         };
         pool.borrow_mut().insert(TypeId::of::<T>(), boxed);
         out
@@ -211,20 +242,29 @@ fn pack_b<T: Scalar, const NR: usize>(
 }
 
 /// The register-tile microkernel: `C[0..mr, 0..nr] += Apanel * Bpanel` over
-/// a depth-`kc` packed panel pair. The `MR x NR` accumulator tile lives in
-/// fixed-size arrays so the compiler keeps it in vector registers; edge
-/// tiles simply write back the valid `mr x nr` corner (panels are
-/// zero-padded, so the extra lanes accumulate exact zeros).
+/// a depth-`kc` packed panel pair. A matching SIMD kernel from
+/// [`crate::simd`] runs when the active tier provides one for this
+/// `(T, MR, NR)`; otherwise the portable generic tile below runs — its
+/// `MR x NR` accumulator lives in fixed-size arrays so the compiler keeps
+/// it in vector registers. Edge tiles simply write back the valid `mr x nr`
+/// corner (panels are zero-padded, so the extra lanes accumulate exact
+/// zeros).
 // dftlint:hot
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn microkernel<T: Scalar, const MR: usize, const NR: usize>(
+    tier: SimdTier,
     ap: &[T],
     bp: &[T],
     c: &mut [T],
     ldc: usize,
+    kc: usize,
     mr: usize,
     nr: usize,
 ) {
+    if simd::microkernel_simd::<T, MR, NR>(tier, ap, bp, c, ldc, kc, mr, nr) {
+        return;
+    }
     let mut acc = [[T::ZERO; MR]; NR];
     for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
         let av: &[T; MR] = av.try_into().expect("A panel width");
@@ -258,6 +298,7 @@ fn microkernel<T: Scalar, const MR: usize, const NR: usize>(
 // dftlint:hot
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel<T: Scalar, const MR: usize, const NR: usize>(
+    tier: SimdTier,
     mc: usize,
     nc: usize,
     kc: usize,
@@ -279,7 +320,7 @@ fn macro_kernel<T: Scalar, const MR: usize, const NR: usize>(
             let mr = MR.min(mc - i0);
             let apan = &ap[pi * MR * kc..(pi + 1) * MR * kc];
             let coff = (jc + j0) * ldc + ic + i0;
-            microkernel::<T, MR, NR>(apan, bpan, &mut c[coff..], ldc, mr, nr);
+            microkernel::<T, MR, NR>(tier, apan, bpan, &mut c[coff..], ldc, kc, mr, nr);
         }
     }
 }
@@ -309,15 +350,46 @@ pub(crate) fn gemm_block<T: Scalar>(
     if m == 0 || n == 0 || k == 0 || alpha == T::ZERO {
         return;
     }
-    // Register tile: 16x4 doubles is 8 AVX-512 accumulators; complex MACs
-    // expand 4x in scalar ops, so shrink the tile to keep register pressure.
+    // Register tile selection depends only on the scalar type and the SIMD
+    // tier (never on the caller), so every GEMM entry point produces
+    // identical results for identical inputs:
+    // * complex scalars stay on the generic 4x4 tile (complex MACs expand
+    //   4x in scalar ops, so a small tile keeps register pressure down);
+    // * f64/f32 pick the tile whose SIMD microkernel the tier provides
+    //   (AVX-512 16x8 / 32x8, AVX2 8x6 / 16x6);
+    // * the scalar tier keeps the generic 16x4 tile.
+    let tier = simd::active_tier();
     if T::IS_COMPLEX {
         gemm_block_tiled::<T, 4, 4>(
-            m, n, k, alpha, a, lda, a_trans, b, ldb, b_trans, c, ldc, buf,
+            tier, m, n, k, alpha, a, lda, a_trans, b, ldb, b_trans, c, ldc, buf,
         )
+    } else if TypeId::of::<T>() == TypeId::of::<f64>() {
+        match tier {
+            SimdTier::Avx512 => gemm_block_tiled::<T, 16, 8>(
+                tier, m, n, k, alpha, a, lda, a_trans, b, ldb, b_trans, c, ldc, buf,
+            ),
+            SimdTier::Avx2 => gemm_block_tiled::<T, 8, 6>(
+                tier, m, n, k, alpha, a, lda, a_trans, b, ldb, b_trans, c, ldc, buf,
+            ),
+            SimdTier::Scalar => gemm_block_tiled::<T, 16, 4>(
+                tier, m, n, k, alpha, a, lda, a_trans, b, ldb, b_trans, c, ldc, buf,
+            ),
+        }
+    } else if TypeId::of::<T>() == TypeId::of::<f32>() {
+        match tier {
+            SimdTier::Avx512 => gemm_block_tiled::<T, 32, 8>(
+                tier, m, n, k, alpha, a, lda, a_trans, b, ldb, b_trans, c, ldc, buf,
+            ),
+            SimdTier::Avx2 => gemm_block_tiled::<T, 16, 6>(
+                tier, m, n, k, alpha, a, lda, a_trans, b, ldb, b_trans, c, ldc, buf,
+            ),
+            SimdTier::Scalar => gemm_block_tiled::<T, 16, 4>(
+                tier, m, n, k, alpha, a, lda, a_trans, b, ldb, b_trans, c, ldc, buf,
+            ),
+        }
     } else {
         gemm_block_tiled::<T, 16, 4>(
-            m, n, k, alpha, a, lda, a_trans, b, ldb, b_trans, c, ldc, buf,
+            tier, m, n, k, alpha, a, lda, a_trans, b, ldb, b_trans, c, ldc, buf,
         )
     }
 }
@@ -325,6 +397,7 @@ pub(crate) fn gemm_block<T: Scalar>(
 // dftlint:hot
 #[allow(clippy::too_many_arguments)]
 fn gemm_block_tiled<T: Scalar, const MR: usize, const NR: usize>(
+    tier: SimdTier,
     m: usize,
     n: usize,
     k: usize,
@@ -340,26 +413,27 @@ fn gemm_block_tiled<T: Scalar, const MR: usize, const NR: usize>(
     buf: &mut PackBuf<T>,
 ) {
     let PackBuf { a: pa, b: pb } = buf;
-    if m <= MC && k <= KC && n <= NC {
+    let (mc_blk, kc_blk, nc_blk) = crate::autotune::blocking();
+    if m <= mc_blk && k <= kc_blk && n <= nc_blk {
         // Fast path for small problems — one packed panel pair, no blocking
         // loop. This is the FE cell-level shape (m = k = (p+1)^3, n = block).
         pack_b::<T, NR>(pb, b, ldb, b_trans, alpha, 0, k, 0, n);
         pack_a::<T, MR>(pa, a, lda, a_trans, 0, m, 0, k);
-        macro_kernel::<T, MR, NR>(m, n, k, pa, pb, c, ldc, 0, 0);
+        macro_kernel::<T, MR, NR>(tier, m, n, k, pa, pb, c, ldc, 0, 0);
         return;
     }
     let mut jc = 0;
     while jc < n {
-        let nc = NC.min(n - jc);
+        let nc = nc_blk.min(n - jc);
         let mut pc = 0;
         while pc < k {
-            let kc = KC.min(k - pc);
+            let kc = kc_blk.min(k - pc);
             pack_b::<T, NR>(pb, b, ldb, b_trans, alpha, pc, kc, jc, nc);
             let mut ic = 0;
             while ic < m {
-                let mc = MC.min(m - ic);
+                let mc = mc_blk.min(m - ic);
                 pack_a::<T, MR>(pa, a, lda, a_trans, ic, mc, pc, kc);
-                macro_kernel::<T, MR, NR>(mc, nc, kc, pa, pb, c, ldc, ic, jc);
+                macro_kernel::<T, MR, NR>(tier, mc, nc, kc, pa, pb, c, ldc, ic, jc);
                 ic += mc;
             }
             pc += kc;

@@ -159,6 +159,18 @@ pub trait Scalar:
     fn mul_add(self, b: Self, c: Self) -> Self {
         self * b + c
     }
+
+    /// Lane-blocked update `acc[t] += x[t] * k` over equal-length slices —
+    /// the column-blocked inner product of the FE stiffness apply. The
+    /// default is the generic unfused loop; `f64`/`f32` override it with
+    /// the fused contraction from [`crate::simd`] (one rounding per lane,
+    /// vectorized to packed FMA).
+    #[inline]
+    fn lane_fma(acc: &mut [Self], x: &[Self], k: Self::Re) {
+        for (a, &xv) in acc.iter_mut().zip(x.iter()) {
+            *a += xv.scale(k);
+        }
+    }
 }
 
 impl Scalar for f64 {
@@ -209,6 +221,10 @@ impl Scalar for f64 {
     fn from_low(x: f32) -> Self {
         x as f64
     }
+    #[inline]
+    fn lane_fma(acc: &mut [Self], x: &[Self], k: f64) {
+        crate::simd::fma_lane_f64(acc, x, k);
+    }
 }
 
 impl Scalar for f32 {
@@ -258,6 +274,10 @@ impl Scalar for f32 {
     #[inline]
     fn from_low(x: f32) -> Self {
         x
+    }
+    #[inline]
+    fn lane_fma(acc: &mut [Self], x: &[Self], k: f32) {
+        crate::simd::fma_lane_f32(acc, x, k);
     }
 }
 

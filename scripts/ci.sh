@@ -32,6 +32,19 @@ echo "==> comm sanitizer (debug profile): message-leak + tag-band runtime checks
 cargo test -q --offline -p dft-hpc --features sanitize comm::
 cargo test -q --offline -p dft-parallel --features sanitize --test fault_tolerance
 
+echo "==> forced-fallback suite (DFT_SIMD=scalar: scalar tile must bit-match its oracle)"
+DFT_SIMD=scalar cargo test -q --offline --release -p dft-linalg --test simd_parity
+DFT_SIMD=scalar cargo test -q --offline --release -p dft-fem
+
+echo "==> kernel perf-regression gate (skip with DFT_BENCH_GATE=off on loaded machines)"
+if [ "${DFT_BENCH_GATE:-on}" = "off" ]; then
+  echo "    skipped (DFT_BENCH_GATE=off)"
+else
+  cargo run -q --offline --release -p dft-bench --bin bench_kernels
+  cargo run -q --offline --release -p dft-bench --bin bench_gate -- \
+    BENCH_kernels.baseline.json BENCH_kernels.json --tol 0.15
+fi
+
 echo "==> BENCH_scaling.json schema check"
 cargo run -q --offline --release -p dft-bench --bin bench_scaling -- --check BENCH_scaling.json
 

@@ -1,63 +1,270 @@
 //! Offline stand-in for `rayon`.
 //!
-//! The build environment has no crates.io access and a single CPU core, so
-//! this shim maps the `par_*` entry points used by the workspace onto plain
-//! sequential `std` iterators. Call sites compile unchanged — `par_iter()`,
-//! `par_iter_mut()`, `par_chunks_mut()` and `into_par_iter()` simply return
-//! the corresponding `std` iterator, whose adapters (`map`, `enumerate`,
-//! `take`, `for_each`, `collect`, ...) behave identically to rayon's for
-//! the deterministic, order-independent kernels in this repo.
+//! The build environment has no crates.io access, so this shim provides the
+//! `par_*` entry points used by the workspace without pulling in rayon
+//! proper. Unlike the original pure-sequential alias shim, the terminal
+//! operations (`for_each`, `collect`) now dispatch onto real scoped threads
+//! when the machine reports more than one core (or `RAYON_NUM_THREADS`
+//! requests it).
+//!
+//! Determinism contract — stronger than real rayon's:
+//!
+//! - Items are split into **contiguous chunks in a fixed order** (first
+//!   `len % nt` chunks get one extra item). There is no work stealing; the
+//!   chunk-to-thread assignment depends only on `(len, nt)`.
+//! - `collect` concatenates per-thread results in spawn order, so the output
+//!   sequence is **identical to the sequential order** regardless of thread
+//!   scheduling.
+//! - With one thread (`available_parallelism() == 1`, as on single-core CI
+//!   boxes, or `RAYON_NUM_THREADS=1`), the lazy sequential path runs and the
+//!   results are bit-identical to plain `std` iterators by construction.
 
-/// `rayon::prelude` lookalike: extension traits providing the `par_*`
-/// methods as sequential aliases.
+use std::sync::OnceLock;
+
+/// Number of worker threads the shim uses for parallel terminals.
+///
+/// Honors `RAYON_NUM_THREADS` (as real rayon does) when it parses to a
+/// positive integer; otherwise falls back to
+/// `std::thread::available_parallelism()`. Cached after the first call.
+pub fn current_num_threads() -> usize {
+    static NT: OnceLock<usize> = OnceLock::new();
+    *NT.get_or_init(|| {
+        if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Deterministic contiguous split: chunk sizes for `n` items over at most
+/// `nt` workers. The first `n % nt` chunks are one item larger; empty
+/// trailing chunks are never produced (workers are capped at `n`).
+fn split_sizes(n: usize, nt: usize) -> Vec<usize> {
+    let workers = nt.max(1).min(n.max(1));
+    let base = n / workers;
+    let rem = n % workers;
+    (0..workers).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// Drain `items` into per-worker groups following [`split_sizes`].
+fn split_groups<T>(items: Vec<T>, nt: usize) -> Vec<Vec<T>> {
+    let sizes = split_sizes(items.len(), nt);
+    let mut it = items.into_iter();
+    sizes
+        .iter()
+        .map(|&s| it.by_ref().take(s).collect())
+        .collect()
+}
+
+/// Run `f` over every item, on `nt` scoped threads when `nt > 1`.
+///
+/// Each worker owns one contiguous chunk and walks it in order; every item
+/// is visited exactly once. A worker panic propagates when the scope joins.
+fn run_items<T, F>(items: Vec<T>, nt: usize, f: &F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    if nt <= 1 || items.len() <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let groups = split_groups(items, nt);
+    std::thread::scope(|scope| {
+        for group in groups {
+            scope.spawn(move || {
+                for item in group {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// Map `f` over every item, on `nt` scoped threads when `nt > 1`, returning
+/// results in the sequential item order (concatenation in spawn order).
+fn map_items<T, R, F>(items: Vec<T>, nt: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if nt <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let groups = split_groups(items, nt);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| scope.spawn(move || group.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+/// Lazy parallel iterator: wraps a `std` iterator and defers the split
+/// decision to the terminal operation.
+pub struct Par<I> {
+    iter: I,
+}
+
+impl<I: Iterator> Par<I> {
+    /// Pair each item with its sequential index.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par {
+            iter: self.iter.enumerate(),
+        }
+    }
+
+    /// Keep only the first `n` items.
+    pub fn take(self, n: usize) -> Par<std::iter::Take<I>> {
+        Par {
+            iter: self.iter.take(n),
+        }
+    }
+
+    /// Pair items with another parallel iterator, in lockstep.
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par {
+            iter: self.iter.zip(other.iter),
+        }
+    }
+
+    /// Defer `f` to the terminal operation so it runs on the worker threads.
+    pub fn map<R, F: Fn(I::Item) -> R>(self, f: F) -> ParMap<I, F> {
+        ParMap { iter: self.iter, f }
+    }
+
+    /// Run `f` on every item. Sequential when one thread is available;
+    /// otherwise deterministic contiguous chunks on scoped threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        let nt = current_num_threads();
+        if nt <= 1 {
+            self.iter.for_each(f);
+        } else {
+            let items: Vec<I::Item> = self.iter.collect();
+            run_items(items, nt, &f);
+        }
+    }
+}
+
+/// A [`Par`] with a pending `map` whose closure runs on the worker threads.
+pub struct ParMap<I, F> {
+    iter: I,
+    f: F,
+}
+
+impl<I: Iterator, R, F: Fn(I::Item) -> R> ParMap<I, F> {
+    /// Apply the map and collect results in sequential item order.
+    pub fn collect<C: FromIterator<R>>(self) -> C
+    where
+        I::Item: Send,
+        R: Send,
+        F: Sync,
+    {
+        let nt = current_num_threads();
+        if nt <= 1 {
+            self.iter.map(self.f).collect()
+        } else {
+            let items: Vec<I::Item> = self.iter.collect();
+            map_items(items, nt, &self.f).into_iter().collect()
+        }
+    }
+
+    /// Apply the map for its side effects, discarding results.
+    pub fn for_each(self)
+    where
+        I::Item: Send,
+        R: Send,
+        F: Sync,
+    {
+        let _: Vec<R> = self.collect();
+    }
+}
+
+/// `par_iter`/`par_iter_mut`/`par_chunks`/`par_chunks_mut` on slices.
+pub trait ParallelSliceExt<T> {
+    /// Parallel counterpart of `slice::iter`.
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    /// Parallel counterpart of `slice::iter_mut`.
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    /// Parallel counterpart of `slice::chunks`.
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    /// Parallel counterpart of `slice::chunks_mut`.
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par { iter: self.iter() }
+    }
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par {
+            iter: self.iter_mut(),
+        }
+    }
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par {
+            iter: self.chunks(size),
+        }
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par {
+            iter: self.chunks_mut(size),
+        }
+    }
+}
+
+/// `into_par_iter` on any owned iterable (ranges, `Vec`, ...).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Parallel counterpart of `into_iter`.
+    fn into_par_iter(self) -> Par<Self::IntoIter> {
+        Par {
+            iter: self.into_iter(),
+        }
+    }
+}
+
+impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+/// `rayon::prelude` lookalike.
 pub mod prelude {
-    /// `par_iter`/`par_iter_mut`/`par_chunks`/`par_chunks_mut` on slices.
-    pub trait ParallelSliceExt<T> {
-        /// Sequential alias of `rayon`'s `par_iter`.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Sequential alias of `rayon`'s `par_iter_mut`.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        /// Sequential alias of `rayon`'s `par_chunks`.
-        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
-        /// Sequential alias of `rayon`'s `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceExt<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(size)
-        }
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(size)
-        }
-    }
-
-    /// `into_par_iter` on any owned iterable (ranges, `Vec`, ...).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential alias of `rayon`'s `into_par_iter`.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+    pub use crate::{IntoParallelIterator, ParallelSliceExt};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{map_items, run_items, split_sizes};
 
     #[test]
-    fn par_entry_points_match_sequential() {
-        let v = [1, 2, 3, 4];
-        let doubled: Vec<i32> = v.par_iter().map(|&x| 2 * x).collect();
-        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    fn par_entry_points_match_sequential_bit_for_bit() {
+        // On a single-core box the public API takes the lazy sequential
+        // path; on a multi-core box the deterministic split must still
+        // reproduce the sequential order exactly. Either way the results
+        // must be bit-identical to plain `std` iterators.
+        let v: Vec<f64> = (0..37).map(|i| 0.1 * i as f64).collect();
+        let par: Vec<f64> = v.par_iter().map(|&x| x.mul_add(1.5, -0.25)).collect();
+        let seq: Vec<f64> = v.iter().map(|&x| x.mul_add(1.5, -0.25)).collect();
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(seq.iter()) {
+            assert_eq!(p.to_bits(), s.to_bits());
+        }
 
         let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(squares, vec![0, 1, 4, 9, 16]);
@@ -69,5 +276,78 @@ mod tests {
             }
         });
         assert_eq!(buf, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+
+        let mut zipped = vec![0i64; 7];
+        let src: Vec<i64> = (0..7).map(|i| 10 * i).collect();
+        zipped
+            .par_chunks_mut(2)
+            .zip(src.par_chunks(2))
+            .for_each(|(y, x)| {
+                for (yi, xi) in y.iter_mut().zip(x.iter()) {
+                    *yi = xi + 1;
+                }
+            });
+        assert_eq!(zipped, vec![1, 11, 21, 31, 41, 51, 61]);
+    }
+
+    #[test]
+    fn split_sizes_is_deterministic_and_covers_all_items() {
+        for n in 0..50usize {
+            for nt in 1..8usize {
+                let sizes = split_sizes(n, nt);
+                assert_eq!(sizes.iter().sum::<usize>(), n, "n={n} nt={nt}");
+                // No empty chunks, no more workers than items.
+                if n > 0 {
+                    assert!(sizes.iter().all(|&s| s > 0), "n={n} nt={nt}");
+                    assert!(sizes.len() <= nt.max(1));
+                }
+                // Fixed order: sizes never increase (extra items go first).
+                for w in sizes.windows(2) {
+                    assert!(w[0] >= w[1]);
+                }
+                // Deterministic: a second call yields the same split.
+                assert_eq!(sizes, split_sizes(n, nt));
+            }
+        }
+    }
+
+    #[test]
+    fn map_items_matches_sequential_for_any_thread_count() {
+        // Forced multi-threaded execution on a single-core box: the
+        // internal helper takes `nt` explicitly, so this exercises the
+        // scoped-thread path even when `available_parallelism() == 1`.
+        let items: Vec<f64> = (0..101).map(|i| (i as f64).sin()).collect();
+        let f = |x: f64| x.mul_add(3.0, 1.0) / (1.0 + x * x);
+        let seq: Vec<f64> = items.iter().map(|&x| f(x)).collect();
+        for nt in [1usize, 2, 3, 4, 7] {
+            let got = map_items(items.clone(), nt, &|x| f(x));
+            assert_eq!(got.len(), seq.len(), "nt={nt}");
+            for (g, s) in got.iter().zip(seq.iter()) {
+                assert_eq!(g.to_bits(), s.to_bits(), "nt={nt}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_items_visits_each_mut_chunk_exactly_once() {
+        let seq = {
+            let mut buf = vec![0.0f64; 23];
+            for (j, c) in buf.chunks_mut(4).enumerate() {
+                for (t, v) in c.iter_mut().enumerate() {
+                    *v += (j * 10 + t) as f64;
+                }
+            }
+            buf
+        };
+        for nt in [1usize, 2, 4] {
+            let mut buf = vec![0.0f64; 23];
+            let chunks: Vec<(usize, &mut [f64])> = buf.chunks_mut(4).enumerate().collect();
+            run_items(chunks, nt, &|(j, c)| {
+                for (t, v) in c.iter_mut().enumerate() {
+                    *v += (j * 10 + t) as f64;
+                }
+            });
+            assert_eq!(buf, seq, "nt={nt}");
+        }
     }
 }
