@@ -15,7 +15,8 @@
 //! exits nonzero on violation (used by CI).
 
 use dft_bench::scaling::{
-    CommBytes, PhaseSeconds, RankRun, ScalingReport, SystemCard, WireComparison, CHFES_PHASES,
+    CommBytes, GridRun, OverlapComparison, PhaseSeconds, RankRun, ScalingReport,
+    SubspaceFp32Ablation, SystemCard, WireComparison, CHFES_PHASES,
 };
 use dft_bench::section;
 use dft_core::scf::{KPoint, ScfConfig};
@@ -25,7 +26,10 @@ use dft_fem::mesh::Mesh3d;
 use dft_fem::space::FeSpace;
 use dft_hpc::comm::{run_cluster, CommStats, WirePrecision};
 use dft_linalg::matrix::Matrix;
-use dft_parallel::{distributed_scf, DistHamiltonian, DistScfConfig, DistSpace, SharedComm};
+use dft_parallel::{
+    distributed_scf, DistHamiltonian, DistScfConfig, DistSpace, GridShape, SharedComm,
+};
+use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 fn bench_system() -> (FeSpace, AtomicSystem) {
@@ -62,16 +66,18 @@ fn comm_bytes(stats: &CommStats) -> CommBytes {
 }
 
 /// One distributed SCF at `nranks`; returns the scaling entry (speedup
-/// filled in by the caller) and the converged free energy.
+/// filled in by the caller), the converged free energy, and the seconds
+/// ranks spent blocked on ghost-row receives.
 fn scf_run(
     space: &FeSpace,
     sys: &AtomicSystem,
     dcfg: &DistScfConfig,
     nranks: usize,
-) -> (RankRun, f64) {
+    kpts: &[KPoint],
+) -> (RankRun, f64, f64) {
     let t0 = Instant::now();
     let (results, stats) = run_cluster(nranks, |comm| {
-        distributed_scf(comm, space, sys, &Lda, dcfg, &[KPoint::gamma()]).expect("scf")
+        distributed_scf(comm, space, sys, &Lda, dcfg, kpts).expect("scf")
     });
     let wall_seconds = t0.elapsed().as_secs_f64();
     let r0 = &results[0];
@@ -87,8 +93,11 @@ fn scf_run(
                 .fold(0.0, f64::max),
         })
         .collect();
+    let shape = dcfg.grid.unwrap_or_else(|| GridShape::slab(nranks));
+    let ghost_wait = stats.ghost_wait_nanos.load(Ordering::Relaxed) as f64 * 1e-9;
     let run = RankRun {
         nranks,
+        grid: Some(shape.to_string()),
         wall_seconds,
         speedup_vs_1rank: 0.0,
         free_energy_ha: r0.energy.free_energy,
@@ -97,7 +106,17 @@ fn scf_run(
         chfes_phase_seconds,
         comm: comm_bytes(&stats),
     };
-    (run, r0.energy.free_energy)
+    (run, r0.energy.free_energy, ghost_wait)
+}
+
+/// The `CholGS-S` + `RR-P` critical path — the subspace-reduction seconds
+/// band parallelism splits.
+fn reduction_seconds(run: &RankRun) -> f64 {
+    run.chfes_phase_seconds
+        .iter()
+        .filter(|p| p.phase == "CholGS-S" || p.phase == "RR-P")
+        .map(|p| p.seconds)
+        .sum()
 }
 
 /// Ghost-exchange bytes of ONE distributed Hamiltonian apply at `wire`:
@@ -174,7 +193,7 @@ fn main() {
     };
     let mut runs: Vec<RankRun> = Vec::new();
     for nranks in [1usize, 2, 4, 8] {
-        let (mut run, energy) = scf_run(&space, &sys, &dcfg64, nranks);
+        let (mut run, energy, _) = scf_run(&space, &sys, &dcfg64, nranks, &[KPoint::gamma()]);
         run.speedup_vs_1rank = if runs.is_empty() {
             1.0
         } else {
@@ -194,11 +213,11 @@ fn main() {
 
     section("FP32 boundary wire vs FP64 — 4 ranks");
     let dcfg32 = DistScfConfig {
-        base: cfg,
+        base: cfg.clone(),
         wire: WirePrecision::Fp32,
         ..DistScfConfig::default()
     };
-    let (run32, e32) = scf_run(&space, &sys, &dcfg32, 4);
+    let (run32, e32, _) = scf_run(&space, &sys, &dcfg32, 4, &[KPoint::gamma()]);
     let run64 = runs.iter().find(|r| r.nranks == 4).expect("4-rank run");
     let wire = WireComparison {
         nranks: 4,
@@ -223,17 +242,118 @@ fn main() {
         wire.scf_comm_fp32.bytes_total
     );
 
+    section("Process-grid layouts — 8 ranks reshaped as 8x1x1 / 4x2x1 / 2x2x2");
+    // two k-points so the k-group axis has work, and a wider subspace (16
+    // states) so the O(N^2)-per-state CholGS/RR reductions are visible
+    // enough for band-splitting to show; same problem at every layout, so
+    // phase seconds are comparable and the energy must not move
+    let cfg_grid = ScfConfig {
+        n_states: 16,
+        ..cfg.clone()
+    };
+    let kpts2 = vec![
+        KPoint {
+            frac: [0.0; 3],
+            weight: 0.5,
+        },
+        KPoint {
+            frac: [0.25, 0.0, 0.0],
+            weight: 0.5,
+        },
+    ];
+    let mut grid_runs: Vec<GridRun> = Vec::new();
+    for shape in [
+        GridShape::new(8, 1, 1),
+        GridShape::new(4, 2, 1),
+        GridShape::new(2, 2, 2),
+    ] {
+        let dcfg = DistScfConfig {
+            base: cfg_grid.clone(),
+            grid: Some(shape),
+            ..DistScfConfig::default()
+        };
+        let (run, energy, _) = scf_run(&space, &sys, &dcfg, 8, &kpts2);
+        let red = reduction_seconds(&run);
+        println!(
+            "{shape}: {:>8.3} s wall, {:>7.4} s CholGS-S + RR-P, E = {energy:+.10} Ha, \
+             {} B on the wire",
+            run.wall_seconds, red, run.comm.bytes_total
+        );
+        grid_runs.push(GridRun {
+            grid: shape.to_string(),
+            nranks: 8,
+            wall_seconds: run.wall_seconds,
+            free_energy_ha: run.free_energy_ha,
+            converged: run.converged,
+            reduction_seconds: red,
+            chfes_phase_seconds: run.chfes_phase_seconds,
+            comm: run.comm,
+        });
+    }
+
+    section("Cross-iteration ghost overlap — 4x2x1, 8 ranks");
+    let dcfg_grid = DistScfConfig {
+        base: cfg.clone(),
+        grid: Some(GridShape::new(4, 2, 1)),
+        ..DistScfConfig::default()
+    };
+    let dcfg_ov = DistScfConfig {
+        overlap: true,
+        ..dcfg_grid.clone()
+    };
+    let (run_no_ov, e_no_ov, wait_no_ov) = scf_run(&space, &sys, &dcfg_grid, 8, &[KPoint::gamma()]);
+    let (_, e_ov, wait_ov) = scf_run(&space, &sys, &dcfg_ov, 8, &[KPoint::gamma()]);
+    let overlap = OverlapComparison {
+        nranks: 8,
+        grid: "4x2x1".to_string(),
+        ghost_wait_seconds_no_overlap: wait_no_ov,
+        ghost_wait_seconds_overlap: wait_ov,
+        free_energy_bitwise_identical: e_no_ov.to_bits() == e_ov.to_bits(),
+    };
+    println!(
+        "ghost wait: {wait_no_ov:.4} s blocking vs {wait_ov:.4} s overlapped \
+         ({:.2}x), energies bit-identical: {}",
+        wait_no_ov / wait_ov.max(1e-12),
+        overlap.free_energy_bitwise_identical
+    );
+
+    section("FP32 subspace reductions — 4x2x1, 8 ranks");
+    let dcfg_sub32 = DistScfConfig {
+        subspace_fp32: true,
+        ..dcfg_grid.clone()
+    };
+    let (run_sub32, e_sub32, _) = scf_run(&space, &sys, &dcfg_sub32, 8, &[KPoint::gamma()]);
+    let subspace_fp32 = SubspaceFp32Ablation {
+        nranks: 8,
+        grid: "4x2x1".to_string(),
+        free_energy_fp64_ha: e_no_ov,
+        free_energy_fp32_subspace_ha: e_sub32,
+        abs_energy_diff_ha: (e_no_ov - e_sub32).abs(),
+        comm_fp64: run_no_ov.comm,
+        comm_fp32: run_sub32.comm,
+    };
+    println!(
+        "E(fp64 subspace) = {e_no_ov:+.10} Ha   E(fp32 off-diagonal) = {e_sub32:+.10} Ha   \
+         |diff| = {:.3e} Ha; {} FP32 B on the wire",
+        subspace_fp32.abs_energy_diff_ha, subspace_fp32.comm_fp32.bytes_fp32
+    );
+
     let report = ScalingReport {
         note: "threaded MPI stand-in (ranks = threads, shared CommStats); wall times are \
                per-process and include thread spawn, so sub-unit speedups are expected at \
                this miniature DoF count — the artifact's claims are the phase breakdown, \
-               the byte accounting, and the rank-count-invariant energies; FP32 applies to \
-               the Chebyshev-filter boundary exchange only — collectives and CholGS/RR \
-               reductions stay FP64"
+               the byte accounting, and the rank-count-invariant energies; FP32 in `wire` \
+               applies to the Chebyshev-filter boundary exchange only; `grid_runs` reshape \
+               8 ranks across domain x band x k-group axes on a two-k-point problem; \
+               `subspace_fp32` ships only off-band-diagonal subspace blocks in FP32 and \
+               keeps Cholesky pivot blocks and cleanup passes FP64"
             .to_string(),
         system,
         runs,
         wire,
+        grid_runs: Some(grid_runs),
+        overlap: Some(overlap),
+        subspace_fp32: Some(subspace_fp32),
     };
     report
         .validate()

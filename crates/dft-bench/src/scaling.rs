@@ -44,6 +44,10 @@ pub struct PhaseSeconds {
 pub struct RankRun {
     /// Ranks in the run.
     pub nranks: usize,
+    /// Process-grid shape of the run as `"DOMxBANDxK"` (e.g. `"4x1x1"`).
+    /// `None` on artifacts emitted before the grid existed (all such runs
+    /// used the 1D slab layout, i.e. `"{nranks}x1x1"`).
+    pub grid: Option<String>,
     /// End-to-end wall seconds of the SCF (cluster spawn included).
     pub wall_seconds: f64,
     /// `wall_seconds(1 rank) / wall_seconds(this run)`.
@@ -81,6 +85,71 @@ pub struct WireComparison {
     pub ghost_apply_bytes_fp32: u64,
 }
 
+/// One process-grid layout of the SAME problem at the SAME rank count:
+/// the grid sweep holds ranks fixed (8) and reshapes them across the
+/// domain / band / k-group axes, so phase seconds are comparable and the
+/// converged energy must be layout-invariant.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GridRun {
+    /// Grid shape as `"DOMxBANDxK"`.
+    pub grid: String,
+    /// Ranks (product of the shape's axes).
+    pub nranks: usize,
+    /// End-to-end wall seconds of the SCF.
+    pub wall_seconds: f64,
+    /// Converged free energy (Ha) — must agree across layouts.
+    pub free_energy_ha: f64,
+    /// Whether the density residual met the tolerance.
+    pub converged: bool,
+    /// Critical-path seconds of the subspace-reduction-dominated phases
+    /// (`CholGS-S` + `RR-P`) — the time band parallelism shrinks.
+    pub reduction_seconds: f64,
+    /// Per-ChFES-phase wall seconds (critical path over ranks).
+    pub chfes_phase_seconds: Vec<PhaseSeconds>,
+    /// Cluster communication volume of the run.
+    pub comm: CommBytes,
+}
+
+/// Cross-iteration ghost overlap on vs off at a fixed grid shape: the
+/// schedule is bit-identical by construction, so the energy check is
+/// exact; the ghost-wait seconds are the measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OverlapComparison {
+    /// Ranks used for the comparison.
+    pub nranks: usize,
+    /// Grid shape as `"DOMxBANDxK"`.
+    pub grid: String,
+    /// Seconds ranks spent blocked on ghost-row receives, overlap OFF.
+    pub ghost_wait_seconds_no_overlap: f64,
+    /// Same, with the next step's exchange posted behind the interior
+    /// apply (overlap ON).
+    pub ghost_wait_seconds_overlap: f64,
+    /// Bitwise equality of the two converged free energies (must hold).
+    pub free_energy_bitwise_identical: bool,
+}
+
+/// FP64 vs FP32 subspace-reduction wire (off-band-diagonal blocks of the
+/// overlap and projected-Hamiltonian matrices travel FP32; the
+/// band-diagonal squares and the FP64 cleanup pass keep the result
+/// within 1e-8 Ha).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SubspaceFp32Ablation {
+    /// Ranks used for the comparison.
+    pub nranks: usize,
+    /// Grid shape as `"DOMxBANDxK"`.
+    pub grid: String,
+    /// Free energy with all-FP64 subspace reductions (Ha).
+    pub free_energy_fp64_ha: f64,
+    /// Free energy with the FP32 off-diagonal subspace wire (Ha).
+    pub free_energy_fp32_subspace_ha: f64,
+    /// `|fp64 - fp32 subspace|` (Ha) — gated at 1e-8.
+    pub abs_energy_diff_ha: f64,
+    /// Communication volume of the all-FP64 run.
+    pub comm_fp64: CommBytes,
+    /// Communication volume of the FP32-subspace run (nonzero `bytes_fp32`).
+    pub comm_fp32: CommBytes,
+}
+
 /// Size card of the benchmark system.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SystemCard {
@@ -109,6 +178,25 @@ pub struct ScalingReport {
     pub runs: Vec<RankRun>,
     /// The FP32-wire comparison.
     pub wire: WireComparison,
+    /// Grid-shape sweep at a fixed rank count (absent on pre-grid
+    /// artifacts).
+    pub grid_runs: Option<Vec<GridRun>>,
+    /// Ghost-overlap on/off comparison (absent on pre-grid artifacts).
+    pub overlap: Option<OverlapComparison>,
+    /// FP32-subspace-wire ablation (absent on pre-grid artifacts).
+    pub subspace_fp32: Option<SubspaceFp32Ablation>,
+}
+
+/// `"DOMxBANDxK"` → `(dom, band, k)`, or `None` if malformed.
+fn parse_grid(s: &str) -> Option<(usize, usize, usize)> {
+    let mut it = s.split('x');
+    let d = it.next()?.parse().ok()?;
+    let b = it.next()?.parse().ok()?;
+    let k = it.next()?.parse().ok()?;
+    if it.next().is_some() || d == 0 || b == 0 || k == 0 {
+        return None;
+    }
+    Some((d, b, k))
 }
 
 impl ScalingReport {
@@ -166,6 +254,18 @@ impl ScalingReport {
             if run.nranks > 1 && run.comm.bytes_total == 0 {
                 return Err(format!("{}-rank run moved no bytes", run.nranks));
             }
+            if let Some(g) = &run.grid {
+                let Some((d, b, k)) = parse_grid(g) else {
+                    return Err(format!("{}-rank run: malformed grid {g:?}", run.nranks));
+                };
+                if d * b * k != run.nranks {
+                    return Err(format!(
+                        "{}-rank run: grid {g} has {} ranks",
+                        run.nranks,
+                        d * b * k
+                    ));
+                }
+            }
         }
         let w = &self.wire;
         if w.abs_energy_diff_ha > 1e-8 {
@@ -185,6 +285,88 @@ impl ScalingReport {
                 "FP32 ghost exchange is not exactly half of FP64: {} vs {}",
                 w.ghost_apply_bytes_fp32, w.ghost_apply_bytes_fp64
             ));
+        }
+        // Grid-era sections are optional (pre-grid artifacts lack them) but
+        // strict once present. Seconds are only sanity-checked — timing
+        // orderings are machine noise; byte counts and energies are
+        // deterministic and gate hard.
+        if let Some(grid_runs) = &self.grid_runs {
+            if grid_runs.is_empty() {
+                return Err("grid_runs present but empty".into());
+            }
+            let eg = grid_runs[0].free_energy_ha;
+            for gr in grid_runs {
+                let Some((d, b, k)) = parse_grid(&gr.grid) else {
+                    return Err(format!("grid run: malformed grid {:?}", gr.grid));
+                };
+                if d * b * k != gr.nranks {
+                    return Err(format!(
+                        "grid run {}: shape has {} ranks, field says {}",
+                        gr.grid,
+                        d * b * k,
+                        gr.nranks
+                    ));
+                }
+                if !gr.converged {
+                    return Err(format!("grid run {} did not converge", gr.grid));
+                }
+                if (gr.free_energy_ha - eg).abs() > 1e-8 {
+                    return Err(format!(
+                        "grid run {} energy {} drifts from {} ({}) by > 1e-8 Ha",
+                        gr.grid, gr.free_energy_ha, grid_runs[0].grid, eg
+                    ));
+                }
+                let labels: Vec<&str> = gr
+                    .chfes_phase_seconds
+                    .iter()
+                    .map(|p| p.phase.as_str())
+                    .collect();
+                if labels != CHFES_PHASES {
+                    return Err(format!(
+                        "grid run {}: ChFES phases {labels:?} != {CHFES_PHASES:?}",
+                        gr.grid
+                    ));
+                }
+                if !(gr.reduction_seconds.is_finite() && gr.reduction_seconds >= 0.0) {
+                    return Err(format!("grid run {}: invalid reduction seconds", gr.grid));
+                }
+                if gr.comm.bytes_total == 0 {
+                    return Err(format!("grid run {} moved no bytes", gr.grid));
+                }
+            }
+        }
+        if let Some(ov) = &self.overlap {
+            if !ov.free_energy_bitwise_identical {
+                return Err("overlap run energy is not bit-identical".into());
+            }
+            for (label, s) in [
+                ("no-overlap", ov.ghost_wait_seconds_no_overlap),
+                ("overlap", ov.ghost_wait_seconds_overlap),
+            ] {
+                if !(s.is_finite() && s >= 0.0) {
+                    return Err(format!("overlap section: invalid {label} ghost wait"));
+                }
+            }
+            if parse_grid(&ov.grid).is_none() {
+                return Err(format!("overlap section: malformed grid {:?}", ov.grid));
+            }
+        }
+        if let Some(sp) = &self.subspace_fp32 {
+            if sp.abs_energy_diff_ha > 1e-8 {
+                return Err(format!(
+                    "FP32-subspace energy differs by {} Ha (> 1e-8)",
+                    sp.abs_energy_diff_ha
+                ));
+            }
+            if sp.comm_fp64.bytes_fp32 != 0 {
+                return Err("FP64-subspace run must move no FP32 bytes".into());
+            }
+            if sp.comm_fp32.bytes_fp32 == 0 {
+                return Err("FP32-subspace run moved no FP32 bytes".into());
+            }
+            if parse_grid(&sp.grid).is_none() {
+                return Err(format!("subspace section: malformed grid {:?}", sp.grid));
+            }
         }
         Ok(())
     }
@@ -207,6 +389,7 @@ mod tests {
     fn good_report() -> ScalingReport {
         let run = |nranks: usize, bytes: u64| RankRun {
             nranks,
+            grid: Some(format!("{nranks}x1x1")),
             wall_seconds: 1.0 / nranks as f64,
             speedup_vs_1rank: nranks as f64,
             free_energy_ha: -1.25,
@@ -251,6 +434,59 @@ mod tests {
                 ghost_apply_bytes_fp64: 800,
                 ghost_apply_bytes_fp32: 400,
             },
+            grid_runs: Some(vec![
+                grid_run("8x1x1"),
+                grid_run("4x2x1"),
+                grid_run("2x2x2"),
+            ]),
+            overlap: Some(OverlapComparison {
+                nranks: 8,
+                grid: "4x2x1".into(),
+                ghost_wait_seconds_no_overlap: 0.5,
+                ghost_wait_seconds_overlap: 0.1,
+                free_energy_bitwise_identical: true,
+            }),
+            subspace_fp32: Some(SubspaceFp32Ablation {
+                nranks: 8,
+                grid: "4x2x1".into(),
+                free_energy_fp64_ha: -1.25,
+                free_energy_fp32_subspace_ha: -1.25 + 1e-10,
+                abs_energy_diff_ha: 1e-10,
+                comm_fp64: CommBytes {
+                    bytes_total: 4096,
+                    messages: 512,
+                    bytes_fp64: 4096,
+                    bytes_fp32: 0,
+                },
+                comm_fp32: CommBytes {
+                    bytes_total: 3072,
+                    messages: 512,
+                    bytes_fp64: 2048,
+                    bytes_fp32: 1024,
+                },
+            }),
+        }
+    }
+
+    fn grid_run(shape: &str) -> GridRun {
+        let nranks = shape
+            .split('x')
+            .map(|p| p.parse::<usize>().unwrap())
+            .product();
+        GridRun {
+            grid: shape.to_string(),
+            nranks,
+            wall_seconds: 1.0,
+            free_energy_ha: -2.5,
+            converged: true,
+            reduction_seconds: 0.05,
+            chfes_phase_seconds: phases(),
+            comm: CommBytes {
+                bytes_total: 4096,
+                messages: 512,
+                bytes_fp64: 4096,
+                bytes_fp32: 0,
+            },
         }
     }
 
@@ -287,5 +523,64 @@ mod tests {
         r.runs[1].nranks = 5;
         r.runs[2].nranks = 3;
         assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn grid_sections_are_validated_when_present() {
+        let mut r = good_report();
+        r.runs[1].grid = Some("3x1x1".into()); // 3 ranks on a 2-rank run
+        assert!(r.validate().is_err());
+
+        let mut r = good_report();
+        r.grid_runs.as_mut().unwrap()[1].free_energy_ha += 1e-6;
+        assert!(r.validate().is_err());
+
+        let mut r = good_report();
+        r.grid_runs.as_mut().unwrap()[2].grid = "2x2".into();
+        assert!(r.validate().is_err());
+
+        let mut r = good_report();
+        r.overlap.as_mut().unwrap().free_energy_bitwise_identical = false;
+        assert!(r.validate().is_err());
+
+        let mut r = good_report();
+        r.subspace_fp32.as_mut().unwrap().abs_energy_diff_ha = 1e-7;
+        assert!(r.validate().is_err());
+
+        let mut r = good_report();
+        r.subspace_fp32.as_mut().unwrap().comm_fp32.bytes_fp32 = 0;
+        assert!(r.validate().is_err());
+    }
+
+    /// A PR-3-era artifact knows nothing of grids: no `grid` per run, no
+    /// grid sections. It must still parse and validate.
+    #[test]
+    fn pre_grid_artifacts_still_parse_and_validate() {
+        let mut r = good_report();
+        for run in &mut r.runs {
+            run.grid = None;
+        }
+        r.grid_runs = None;
+        r.overlap = None;
+        r.subspace_fp32 = None;
+        let mut json = serde_json::to_string_pretty(&r).unwrap();
+        // strip the keys entirely, as an old emitter would have
+        json = json
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                !(t.starts_with("\"grid\"")
+                    || t.starts_with("\"grid_runs\"")
+                    || t.starts_with("\"overlap\"")
+                    || t.starts_with("\"subspace_fp32\""))
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        // drop the now-dangling trailing comma before each closing brace
+        let json = json.replace(",\n}", "\n}").replace(",\n  }", "\n  }");
+        let back: ScalingReport = serde_json::from_str(&json).unwrap();
+        assert!(back.runs.iter().all(|r| r.grid.is_none()));
+        assert!(back.grid_runs.is_none() && back.overlap.is_none());
+        back.validate().unwrap();
     }
 }

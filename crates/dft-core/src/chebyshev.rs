@@ -139,6 +139,15 @@ impl<T: Scalar> CfScratch<T> {
             self.hy = Matrix::zeros(n, nc);
         }
     }
+
+    /// Shape and expose the two recurrence buffers (`Y`, `H Y`) — the hook
+    /// a custom [`CfDriver`] uses to run the three-term recurrence itself
+    /// with the same zero-allocation buffer rotation as
+    /// [`chebyshev_filter_scratch`].
+    pub fn buffers(&mut self, n: usize, nc: usize) -> (&mut Matrix<T>, &mut Matrix<T>) {
+        self.ensure(n, nc);
+        (&mut self.y, &mut self.hy)
+    }
 }
 
 impl<T: Scalar> Default for CfScratch<T> {
@@ -238,15 +247,46 @@ pub fn chebyshev_filter_flops<T: Scalar>(h: &dyn HamOperator<T>, ncols: usize, m
 /// squared column norms) is computed from the locally-owned wavefunction
 /// rows and then handed to the reducer, which sums it across ranks. The
 /// serial solver uses [`NoReduce`] and is arithmetically unchanged.
+///
+/// A reducer may additionally declare a *band split* ([`Self::band_cols`]):
+/// this rank then computes only a contiguous column block of every
+/// subspace quantity, [`Self::reduce_matrix`] receives a matrix whose
+/// other columns are zero and must assemble the full sum (grid-row
+/// reduction + grid-column allgather), and [`Self::assemble_cols`]
+/// reassembles full wavefunction columns after a column-blocked update.
 pub trait SubspaceReducer<T: Scalar> {
-    /// Sum an `N x N` subspace matrix over all ranks, in place. Must leave
-    /// bit-identical results on every rank.
+    /// Sum an `N x N` subspace matrix over all ranks, in place. Under a
+    /// band split the input holds only this rank's [`Self::band_cols`]
+    /// block (other columns zero) and the output is the fully assembled
+    /// matrix. Must leave bit-identical results on every rank.
     fn reduce_matrix(&self, m: &mut Matrix<T>);
     /// Sum a small `f64` buffer over all ranks, in place.
     fn reduce_f64(&self, v: &mut [f64]);
     /// Whether wavefunction rows are actually sharded (`true` forbids the
     /// row-local Löwdin fallback, which is only valid on full columns).
     fn is_distributed(&self) -> bool {
+        false
+    }
+    /// The contiguous column block `[j0, j1)` of an `n`-column subspace
+    /// this rank computes. The default — the full range — keeps the serial
+    /// and pure-domain paths on their original code route.
+    fn band_cols(&self, n: usize) -> (usize, usize) {
+        (0, n)
+    }
+    /// Reassemble full columns of the owned-row block `m` after this rank
+    /// updated only its [`Self::band_cols`] block (allgather along the
+    /// band axis). No-op by default.
+    fn assemble_cols(&self, _m: &mut Matrix<T>) {}
+    /// [`Self::reduce_matrix`] with any lossy wire encoding disabled —
+    /// the orthonormality cleanup pass must sum in full precision.
+    fn reduce_matrix_exact(&self, m: &mut Matrix<T>) {
+        self.reduce_matrix(m);
+    }
+    /// Whether [`Self::reduce_matrix`] rounds on the wire (e.g. FP32
+    /// off-diagonal blocks, Sec. 5.4.2). When set, [`chfes_reduced`] runs
+    /// a full-precision orthonormality cleanup pass after CholGS even if
+    /// the local compute is pure FP64.
+    fn lossy_wire(&self) -> bool {
         false
     }
 }
@@ -257,6 +297,41 @@ pub struct NoReduce;
 impl<T: Scalar> SubspaceReducer<T> for NoReduce {
     fn reduce_matrix(&self, _m: &mut Matrix<T>) {}
     fn reduce_f64(&self, _v: &mut [f64]) {}
+}
+
+/// The CF-stage hook of [`chfes_reduced`]: applies the degree-`m`
+/// Chebyshev filter to one column block in place. A distributed driver can
+/// substitute a pipelined recurrence that posts the next degree step's
+/// ghost exchange while the current step's interior update is still
+/// running (the paper's dual-stream cross-iteration overlap); the default
+/// route is [`chebyshev_filter_scratch`] on a plain operator.
+pub trait CfDriver<T: Scalar>: Sync {
+    /// Filter the block `x` in place (same contract as
+    /// [`chebyshev_filter_scratch`]).
+    fn filter_block(
+        &self,
+        x: &mut Matrix<T>,
+        m: usize,
+        a: f64,
+        b: f64,
+        a0: f64,
+        scratch: &mut CfScratch<T>,
+    );
+}
+
+/// What [`chfes_reduced`] filters with during the CF phase.
+#[derive(Clone, Copy)]
+pub enum CfFilter<'a, T: Scalar> {
+    /// Filter with the Rayleigh-Ritz Hamiltonian itself (the serial path).
+    Hamiltonian,
+    /// Substitute operator for the CF recurrence only — the distributed
+    /// solver passes its FP32-wire Hamiltonian here while keeping the FP64
+    /// one for Rayleigh-Ritz (the paper's "FP32 boundary wire, FP64 math"
+    /// split, Sec. 5.4.2).
+    Op(&'a dyn LinearOperator<T>),
+    /// A fully custom filter driver (e.g. the cross-iteration-overlapped
+    /// distributed filter).
+    Driver(&'a dyn CfDriver<T>),
 }
 
 /// Hermitian product `C = A† B` with the paper's mixed-precision layout:
@@ -283,6 +358,26 @@ pub fn adjoint_product_mixed<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, block: usi
         j0 = j1;
     }
     s
+}
+
+/// Band-split variant of [`adjoint_product_mixed`]: `C = A† B` where `B`
+/// is the column block of the subspace starting at global column `col0`.
+/// FP32 GEMM everywhere except the band-diagonal square
+/// `C[col0 .. col0 + B.ncols(), :]`, which is recomputed in FP64 — the
+/// band-block analogue of the paper's "FP64 diagonal blocks" layout.
+pub fn adjoint_block_mixed<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, col0: usize) -> Matrix<T> {
+    let bs = b.ncols();
+    assert!(col0 + bs <= a.ncols(), "band block escapes the subspace");
+    let mut c = Matrix::<T>::zeros(a.ncols(), bs);
+    gemm_mixed(T::ONE, a, Op::ConjTrans, b, Op::None, T::ZERO, &mut c);
+    let ab = a.cols_range(col0, col0 + bs);
+    let d = matmul(&ab, Op::ConjTrans, b, Op::None);
+    for j in 0..bs {
+        for i in 0..bs {
+            c[(col0 + i, j)] = d[(i, j)];
+        }
+    }
+    c
 }
 
 /// One full ChFES cycle (Algorithm 1): filter, orthonormalize, Rayleigh-
@@ -312,21 +407,32 @@ pub fn chfes_profiled<T: Scalar>(
     opts: &ChfesOptions,
     profile: Option<&Profile>,
 ) -> Vec<f64> {
-    chfes_reduced(h, None, psi, bounds, opts, profile, &NoReduce)
+    chfes_reduced(
+        h,
+        CfFilter::Hamiltonian,
+        psi,
+        bounds,
+        opts,
+        profile,
+        &NoReduce,
+    )
 }
 
 /// The distribution-agnostic ChFES cycle: `psi` holds this rank's *owned*
 /// wavefunction rows (all rows in the serial case), `reducer` sums subspace
-/// quantities across ranks, and `filter_op` optionally substitutes a
-/// different operator for the CF recurrence only — the distributed solver
-/// passes its FP32-wire Hamiltonian there while keeping the FP64 one for
-/// Rayleigh-Ritz, which is the paper's "FP32 boundary wire, FP64 math"
-/// split (Sec. 5.4.2). With `filter_op = None` and [`NoReduce`] this is
-/// arithmetically identical to [`chfes_profiled`].
-#[allow(clippy::too_many_arguments)]
+/// quantities across ranks, and `filter` selects what the CF recurrence
+/// runs through (see [`CfFilter`]). With [`CfFilter::Hamiltonian`] and
+/// [`NoReduce`] this is arithmetically identical to [`chfes_profiled`].
+///
+/// When the reducer declares a band split, this rank filters, projects and
+/// rotates only its own column block; overlap and projected-Hamiltonian
+/// matrices are assembled by grid-row reductions plus grid-column
+/// allgathers inside [`SubspaceReducer::reduce_matrix`], and wavefunction
+/// columns are reassembled via [`SubspaceReducer::assemble_cols`]. A
+/// reducer without a band split takes exactly the original code route.
 pub fn chfes_reduced<T: Scalar>(
     h: &dyn HamOperator<T>,
-    filter_op: Option<&dyn LinearOperator<T>>,
+    filter: CfFilter<'_, T>,
     psi: &mut Matrix<T>,
     bounds: (f64, f64, f64),
     opts: &ChfesOptions,
@@ -338,27 +444,56 @@ pub fn chfes_reduced<T: Scalar>(
     let nd = psi.nrows();
     let tsize = std::mem::size_of::<T>() as u64;
     let block_bytes = (nd * n_states) as u64 * tsize;
+    // this rank's band column block: the full range on the serial and
+    // pure-domain paths, which then take the original code route
+    let (j0b, j1b) = reducer.band_cols(n_states);
+    let band_split = (j0b, j1b) != (0, n_states);
 
-    // [CF] blockwise filtering (plus the pre-CholGS column normalization).
-    // The filter scratch and the block buffer persist across blocks.
+    // [CF] blockwise filtering of this rank's band columns (plus the
+    // pre-CholGS column normalization). The filter scratch and the block
+    // buffer persist across blocks.
     {
         let mut scope = PhaseScope::new(profile, Phase::Cf);
-        let fop: &dyn LinearOperator<T> = filter_op.unwrap_or(h);
         let bf = opts.block_size.max(1);
         let mut cf_scratch = CfScratch::new();
         let mut block = Matrix::<T>::zeros(nd, bf.min(n_states));
-        let mut j0 = 0;
-        while j0 < n_states {
-            let j1 = (j0 + bf).min(n_states);
+        let mut j0 = j0b;
+        while j0 < j1b {
+            let j1 = (j0 + bf).min(j1b);
             if block.ncols() != j1 - j0 {
                 block = Matrix::zeros(nd, j1 - j0);
             }
             block.copy_cols_from(psi, j0);
-            chebyshev_filter_scratch(fop, &mut block, opts.cheb_degree, a, b, a0, &mut cf_scratch);
+            match filter {
+                CfFilter::Driver(d) => {
+                    d.filter_block(&mut block, opts.cheb_degree, a, b, a0, &mut cf_scratch)
+                }
+                CfFilter::Op(op) => chebyshev_filter_scratch(
+                    op,
+                    &mut block,
+                    opts.cheb_degree,
+                    a,
+                    b,
+                    a0,
+                    &mut cf_scratch,
+                ),
+                CfFilter::Hamiltonian => chebyshev_filter_scratch(
+                    h,
+                    &mut block,
+                    opts.cheb_degree,
+                    a,
+                    b,
+                    a0,
+                    &mut cf_scratch,
+                ),
+            }
             psi.set_cols(j0, &block);
             scope.add_flops(chebyshev_filter_flops(h, j1 - j0, opts.cheb_degree));
             scope.add_bytes(2 * (nd * (j1 - j0)) as u64 * tsize * opts.cheb_degree as u64);
             j0 = j1;
+        }
+        if band_split {
+            reducer.assemble_cols(psi);
         }
 
         // scale columns to unit norm to avoid overflow before CholGS: local
@@ -385,15 +520,28 @@ pub fn chfes_reduced<T: Scalar>(
 
     let bf = opts.block_size.max(1);
     // One reusable ndofs x N work block serves CholGS-O, RR-P and RR-SR
-    // (results are swapped into `psi`, not copied).
-    let mut work = Matrix::<T>::zeros(nd, n_states);
+    // (results are swapped into `psi`, not copied). Band-split ranks work
+    // on `nd x band_width` blocks instead.
+    let mut work = Matrix::<T>::zeros(nd, if band_split { 0 } else { n_states });
 
-    // [CholGS-S] overlap S = Psi_f† Psi_f
+    // [CholGS-S] overlap S = Psi_f† Psi_f (band ranks compute only their
+    // column block of S; the reducer assembles the grid-row sums along the
+    // band axis)
     let s = {
         let mut scope = PhaseScope::new(profile, Phase::CholGsS);
-        scope.add_flops(gemm_flops::<T>(n_states, n_states, nd));
+        scope.add_flops(gemm_flops::<T>(n_states, j1b - j0b, nd));
         scope.add_bytes(block_bytes + (n_states * n_states) as u64 * tsize);
-        let mut s = if opts.mixed_precision {
+        let mut s = if band_split {
+            let psib = psi.cols_range(j0b, j1b);
+            let sb = if opts.mixed_precision {
+                adjoint_block_mixed(psi, &psib, j0b)
+            } else {
+                matmul(psi, Op::ConjTrans, &psib, Op::None)
+            };
+            let mut s = Matrix::<T>::zeros(n_states, n_states);
+            s.set_cols(j0b, &sb);
+            s
+        } else if opts.mixed_precision {
             adjoint_product_mixed(psi, psi, bf)
         } else {
             matmul(psi, Op::ConjTrans, psi, Op::None)
@@ -413,33 +561,47 @@ pub fn chfes_reduced<T: Scalar>(
     // [CholGS-O] orthonormalization GEMM (or the Löwdin fallback)
     {
         let mut scope = PhaseScope::new(profile, Phase::CholGsO);
-        scope.add_flops(gemm_flops::<T>(nd, n_states, n_states));
+        scope.add_flops(gemm_flops::<T>(nd, j1b - j0b, n_states));
         scope.add_bytes(2 * block_bytes);
         match linv {
             Ok(linv) => {
-                // Psi_o = Psi_f L^{-dagger}
-                if opts.mixed_precision {
-                    gemm_mixed(
-                        T::ONE,
-                        psi,
-                        Op::None,
-                        &linv,
-                        Op::ConjTrans,
-                        T::ZERO,
-                        &mut work,
-                    );
+                if band_split {
+                    // Psi_o[:, j0b..j1b] = Psi_f L^{-dagger}[:, j0b..j1b]
+                    let lb =
+                        Matrix::<T>::from_fn(n_states, j1b - j0b, |i, j| linv[(j0b + j, i)].conj());
+                    let mut wb = Matrix::<T>::zeros(nd, j1b - j0b);
+                    if opts.mixed_precision {
+                        gemm_mixed(T::ONE, psi, Op::None, &lb, Op::None, T::ZERO, &mut wb);
+                    } else {
+                        gemm(T::ONE, psi, Op::None, &lb, Op::None, T::ZERO, &mut wb);
+                    }
+                    psi.set_cols(j0b, &wb);
+                    reducer.assemble_cols(psi);
                 } else {
-                    gemm(
-                        T::ONE,
-                        psi,
-                        Op::None,
-                        &linv,
-                        Op::ConjTrans,
-                        T::ZERO,
-                        &mut work,
-                    );
+                    // Psi_o = Psi_f L^{-dagger}
+                    if opts.mixed_precision {
+                        gemm_mixed(
+                            T::ONE,
+                            psi,
+                            Op::None,
+                            &linv,
+                            Op::ConjTrans,
+                            T::ZERO,
+                            &mut work,
+                        );
+                    } else {
+                        gemm(
+                            T::ONE,
+                            psi,
+                            Op::None,
+                            &linv,
+                            Op::ConjTrans,
+                            T::ZERO,
+                            &mut work,
+                        );
+                    }
+                    std::mem::swap(psi, &mut work);
                 }
-                std::mem::swap(psi, &mut work);
             }
             Err(_) => {
                 // filter produced a (numerically) rank-deficient block: fall
@@ -454,43 +616,78 @@ pub fn chfes_reduced<T: Scalar>(
                 lowdin_orthonormalize(psi).expect("Löwdin fallback failed");
             }
         }
-        if opts.mixed_precision {
-            // FP32 rounding in the orthonormalization GEMM leaves O(1e-7)
-            // non-orthogonality; one cheap cleanup pass keeps RR well-posed.
+        if opts.mixed_precision || reducer.lossy_wire() {
+            // FP32 rounding (in the orthonormalization GEMM or on the
+            // reduction wire) leaves O(1e-7) non-orthogonality; one cheap
+            // full-precision cleanup pass keeps RR well-posed.
             if reducer.is_distributed() {
                 // distributed cleanup: a second (FP64) CholGS pass on the
                 // reduced overlap, which is valid on sharded rows
-                let mut s2 = matmul(psi, Op::ConjTrans, psi, Op::None);
-                reducer.reduce_matrix(&mut s2);
+                let mut s2 = if band_split {
+                    let psib = psi.cols_range(j0b, j1b);
+                    let sb = matmul(psi, Op::ConjTrans, &psib, Op::None);
+                    let mut s2 = Matrix::<T>::zeros(n_states, n_states);
+                    s2.set_cols(j0b, &sb);
+                    s2
+                } else {
+                    matmul(psi, Op::ConjTrans, psi, Op::None)
+                };
+                reducer.reduce_matrix_exact(&mut s2);
                 s2.symmetrize_hermitian();
                 let linv2 = dft_linalg::chol::cholesky_inverse(&s2)
                     .expect("distributed mixed-precision cleanup");
-                gemm(
-                    T::ONE,
-                    psi,
-                    Op::None,
-                    &linv2,
-                    Op::ConjTrans,
-                    T::ZERO,
-                    &mut work,
-                );
-                std::mem::swap(psi, &mut work);
+                if band_split {
+                    let lb = Matrix::<T>::from_fn(n_states, j1b - j0b, |i, j| {
+                        linv2[(j0b + j, i)].conj()
+                    });
+                    let mut wb = Matrix::<T>::zeros(nd, j1b - j0b);
+                    gemm(T::ONE, psi, Op::None, &lb, Op::None, T::ZERO, &mut wb);
+                    psi.set_cols(j0b, &wb);
+                    reducer.assemble_cols(psi);
+                } else {
+                    gemm(
+                        T::ONE,
+                        psi,
+                        Op::None,
+                        &linv2,
+                        Op::ConjTrans,
+                        T::ZERO,
+                        &mut work,
+                    );
+                    std::mem::swap(psi, &mut work);
+                }
             } else {
                 lowdin_orthonormalize(psi).expect("mixed-precision cleanup");
             }
         }
     }
 
-    // [RR-P] projected Hamiltonian Hp = Psi† (H Psi)
+    // [RR-P] projected Hamiltonian Hp = Psi† (H Psi) (band ranks apply H
+    // to their own columns only, so the apply cost splits along the band
+    // axis too)
     let hp = {
         let mut scope = PhaseScope::new(profile, Phase::RrP);
-        scope.add_flops(h.apply_flops(n_states) + gemm_flops::<T>(n_states, n_states, nd));
+        scope.add_flops(h.apply_flops(j1b - j0b) + gemm_flops::<T>(n_states, j1b - j0b, nd));
         scope.add_bytes(2 * block_bytes);
-        h.apply(psi, &mut work);
-        let mut hp = if opts.mixed_precision {
-            adjoint_product_mixed(psi, &work, bf)
+        let mut hp = if band_split {
+            let psib = psi.cols_range(j0b, j1b);
+            let mut wb = Matrix::<T>::zeros(nd, j1b - j0b);
+            h.apply(&psib, &mut wb);
+            let hb = if opts.mixed_precision {
+                adjoint_block_mixed(psi, &wb, j0b)
+            } else {
+                matmul(psi, Op::ConjTrans, &wb, Op::None)
+            };
+            let mut hp = Matrix::<T>::zeros(n_states, n_states);
+            hp.set_cols(j0b, &hb);
+            hp
         } else {
-            matmul(psi, Op::ConjTrans, &work, Op::None)
+            h.apply(psi, &mut work);
+            if opts.mixed_precision {
+                adjoint_product_mixed(psi, &work, bf)
+            } else {
+                matmul(psi, Op::ConjTrans, &work, Op::None)
+            }
         };
         reducer.reduce_matrix(&mut hp);
         hp.symmetrize_hermitian();
@@ -507,18 +704,26 @@ pub fn chfes_reduced<T: Scalar>(
     // [RR-SR] subspace rotation
     {
         let mut scope = PhaseScope::new(profile, Phase::RrSr);
-        scope.add_flops(gemm_flops::<T>(nd, n_states, n_states));
+        scope.add_flops(gemm_flops::<T>(nd, j1b - j0b, n_states));
         scope.add_bytes(2 * block_bytes);
-        gemm(
-            T::ONE,
-            psi,
-            Op::None,
-            &e.eigenvectors,
-            Op::None,
-            T::ZERO,
-            &mut work,
-        );
-        std::mem::swap(psi, &mut work);
+        if band_split {
+            let eb = e.eigenvectors.cols_range(j0b, j1b);
+            let mut wb = Matrix::<T>::zeros(nd, j1b - j0b);
+            gemm(T::ONE, psi, Op::None, &eb, Op::None, T::ZERO, &mut wb);
+            psi.set_cols(j0b, &wb);
+            reducer.assemble_cols(psi);
+        } else {
+            gemm(
+                T::ONE,
+                psi,
+                Op::None,
+                &e.eigenvectors,
+                Op::None,
+                T::ZERO,
+                &mut work,
+            );
+            std::mem::swap(psi, &mut work);
+        }
     }
     e.eigenvalues
 }

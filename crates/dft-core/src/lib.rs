@@ -40,8 +40,9 @@ pub mod system;
 pub mod xc;
 
 pub use chebyshev::{
-    chebyshev_filter, chebyshev_filter_flops, chfes, chfes_profiled, chfes_reduced, lanczos_bounds,
-    ChfesOptions, NoReduce, SubspaceReducer,
+    adjoint_block_mixed, adjoint_product_mixed, chebyshev_filter, chebyshev_filter_flops, chfes,
+    chfes_profiled, chfes_reduced, lanczos_bounds, CfDriver, CfFilter, CfScratch, ChfesOptions,
+    NoReduce, SubspaceReducer,
 };
 pub use forces::{compute_forces, max_force};
 pub use hamiltonian::{HamOperator, KsHamiltonian};

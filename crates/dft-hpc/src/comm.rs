@@ -258,11 +258,50 @@ pub const GATHER_BAND: TagBand = TagBand {
     raw: false,
 };
 
+/// Sub-group allreduce (process-grid rows/columns): `base + rank` carries a
+/// member's contribution to the group root, `base + root` carries the
+/// reduced result back. Disjoint groups may use the band concurrently —
+/// their `(src, dst)` pairs never collide.
+pub const GROUP_REDUCE_BAND: TagBand = TagBand {
+    name: "group-reduce",
+    base: (1 << 60) + 11000,
+    width: MAX_RANKS,
+    raw: false,
+};
+
+/// Sub-group allgather of variable-length blocks (band-axis assembly of
+/// wavefunction column blocks): `base + rank` carries a member's block to
+/// the group root, `base + root` carries the framed concatenation back.
+pub const GROUP_ASSEMBLE_BAND: TagBand = TagBand {
+    name: "group-assemble",
+    base: (1 << 60) + 16000,
+    width: MAX_RANKS,
+    raw: false,
+};
+
+/// K-point-group broadcast: `base + root` carries the payload from each
+/// group's root to its members (concurrent per-group broadcasts share the
+/// band; roots are distinct ranks).
+pub const KGROUP_BAND: TagBand = TagBand {
+    name: "kgroup",
+    base: (1 << 60) + 21000,
+    width: MAX_RANKS,
+    raw: false,
+};
+
 /// The complete collective tag registry. The dft-lint L003 pass statically
 /// proves these bands pairwise disjoint on the wire and contained in
 /// [`COLLECTIVE_TAGS`]; the `sanitize` feature additionally asserts at
 /// runtime that every observed collective wire tag lands in one of them.
-pub const TAG_BANDS: [TagBand; 4] = [BARRIER_BAND, ALLREDUCE_BAND, BROADCAST_BAND, GATHER_BAND];
+pub const TAG_BANDS: [TagBand; 7] = [
+    BARRIER_BAND,
+    ALLREDUCE_BAND,
+    BROADCAST_BAND,
+    GATHER_BAND,
+    GROUP_REDUCE_BAND,
+    GROUP_ASSEMBLE_BAND,
+    KGROUP_BAND,
+];
 
 /// The wire-tag band a logical point-to-point tag occupies after precision
 /// encoding (both FP64 and FP32 framings) — for [`FaultPlan`] rules
@@ -407,6 +446,11 @@ pub struct CommStats {
     pub bytes_fp64: AtomicU64,
     /// Payload bytes sent as FP32 (demoted) floating-point data.
     pub bytes_fp32: AtomicU64,
+    /// Nanoseconds spent waiting (polling or blocking) for ghost-exchange
+    /// payloads that had not yet arrived — the paper's "data movement
+    /// exposed on the critical path". Cross-iteration overlap posts sends
+    /// earlier, which shows up here as a smaller wait at fixed byte volume.
+    pub ghost_wait_nanos: AtomicU64,
     /// Receives that expired at their deadline.
     pub timeouts: AtomicU64,
     /// Ranks killed by fault injection.
@@ -918,6 +962,143 @@ impl ThreadComm {
         }
         self.broadcast_f64(&mut buf, WirePrecision::Fp64)?;
         Ok(buf)
+    }
+
+    /// In-place allreduce(sum) over the communicator sub-group `members`
+    /// (ascending global ranks; must contain `self.rank`). The group root is
+    /// `members[0]`; contributions are accumulated in member order, always
+    /// in FP64 regardless of the wire precision. When `members` is the full
+    /// rank list `[0, n)` the arithmetic is bit-identical to
+    /// [`Self::allreduce_sum_f64`]. Disjoint groups (process-grid rows or
+    /// columns) may call this concurrently on the shared
+    /// [`GROUP_REDUCE_BAND`].
+    pub fn group_allreduce_sum_f64(
+        &mut self,
+        members: &[usize],
+        data: &mut [f64],
+        wire: WirePrecision,
+    ) -> Result<(), CommError> {
+        if members.len() <= 1 {
+            return self.check();
+        }
+        let root = members[0];
+        let deadline = Instant::now() + self.timeout;
+        if self.rank == root {
+            let mut acc = data.to_vec();
+            for &m in &members[1..] {
+                let contrib =
+                    self.recv_f64_deadline(m, GROUP_REDUCE_BAND.for_rank(m), wire, deadline)?;
+                for (a, &c) in acc.iter_mut().zip(contrib.iter()) {
+                    *a += c;
+                }
+            }
+            for &m in &members[1..] {
+                self.send_f64(m, GROUP_REDUCE_BAND.for_rank(root), &acc, wire)?;
+            }
+            data.copy_from_slice(&acc);
+        } else {
+            self.send_f64(root, GROUP_REDUCE_BAND.for_rank(self.rank), data, wire)?;
+            let red =
+                self.recv_f64_deadline(root, GROUP_REDUCE_BAND.for_rank(root), wire, deadline)?;
+            data.copy_from_slice(&red);
+        }
+        Ok(())
+    }
+
+    /// Allgather of variable-length `f64` blocks over the sub-group
+    /// `members`: returns every member's block in member order, on every
+    /// member. Gather-to-root then one framed return hop per member — the
+    /// frame is `[n, len_0.., blocks..]` (block counts and lengths are far
+    /// below 2^24, so they survive an FP32 wire exactly).
+    pub fn group_allgather_f64(
+        &mut self,
+        members: &[usize],
+        mine: &[f64],
+        wire: WirePrecision,
+    ) -> Result<Vec<Vec<f64>>, CommError> {
+        if members.len() <= 1 {
+            self.check()?;
+            return Ok(vec![mine.to_vec()]);
+        }
+        let root = members[0];
+        let deadline = Instant::now() + self.timeout;
+        if self.rank == root {
+            let mut blocks: Vec<Vec<f64>> = Vec::with_capacity(members.len());
+            blocks.push(mine.to_vec());
+            for &m in &members[1..] {
+                blocks.push(self.recv_f64_deadline(
+                    m,
+                    GROUP_ASSEMBLE_BAND.for_rank(m),
+                    wire,
+                    deadline,
+                )?);
+            }
+            let total: usize = blocks.iter().map(Vec::len).sum();
+            let mut framed = Vec::with_capacity(1 + blocks.len() + total);
+            framed.push(blocks.len() as f64);
+            for b in &blocks {
+                framed.push(b.len() as f64);
+            }
+            for b in &blocks {
+                framed.extend_from_slice(b);
+            }
+            for &m in &members[1..] {
+                self.send_f64(m, GROUP_ASSEMBLE_BAND.for_rank(root), &framed, wire)?;
+            }
+            Ok(blocks)
+        } else {
+            self.send_f64(root, GROUP_ASSEMBLE_BAND.for_rank(self.rank), mine, wire)?;
+            let framed =
+                self.recv_f64_deadline(root, GROUP_ASSEMBLE_BAND.for_rank(root), wire, deadline)?;
+            if framed.is_empty() {
+                let e = CommError::PeerGone { peer: root };
+                self.fail(e);
+                return Err(e);
+            }
+            let n = framed[0] as usize;
+            if framed.len() < 1 + n {
+                let e = CommError::PeerGone { peer: root };
+                self.fail(e);
+                return Err(e);
+            }
+            let mut blocks = Vec::with_capacity(n);
+            let mut off = 1 + n;
+            for i in 0..n {
+                let len = framed[1 + i] as usize;
+                if off + len > framed.len() {
+                    let e = CommError::PeerGone { peer: root };
+                    self.fail(e);
+                    return Err(e);
+                }
+                blocks.push(framed[off..off + len].to_vec());
+                off += len;
+            }
+            Ok(blocks)
+        }
+    }
+
+    /// Broadcast from the sub-group root `members[0]` to the other members
+    /// (the root's `data` is left untouched). Concurrent broadcasts from
+    /// distinct roots (one per k-point group) share [`KGROUP_BAND`].
+    pub fn group_broadcast_f64(
+        &mut self,
+        members: &[usize],
+        data: &mut [f64],
+        wire: WirePrecision,
+    ) -> Result<(), CommError> {
+        if members.len() <= 1 {
+            return self.check();
+        }
+        let root = members[0];
+        if self.rank == root {
+            for &m in &members[1..] {
+                self.send_f64(m, KGROUP_BAND.for_rank(root), data, wire)?;
+            }
+        } else {
+            let v = self.recv_f64(root, KGROUP_BAND.for_rank(root), wire)?;
+            data.copy_from_slice(&v);
+        }
+        Ok(())
     }
 }
 
@@ -1461,6 +1642,204 @@ mod tests {
             elapsed < Duration::from_secs(5),
             "cascade took {elapsed:?} (timeout {timeout:?})"
         );
+    }
+
+    /// A full-group sub-communicator allreduce must reproduce the global
+    /// allreduce bit-for-bit: same root, same member-order accumulation.
+    #[test]
+    fn full_group_allreduce_matches_global_allreduce_bitwise() {
+        let (results, _) = run_cluster(4, |c| {
+            let members: Vec<usize> = (0..c.size()).collect();
+            let mut a = vec![(c.rank() as f64 + 1.0) * 0.1, 1.0 / 3.0];
+            let mut b = a.clone();
+            c.allreduce_sum_f64(&mut a, WirePrecision::Fp64).unwrap();
+            c.group_allreduce_sum_f64(&members, &mut b, WirePrecision::Fp64)
+                .unwrap();
+            (a, b)
+        });
+        for (a, b) in results {
+            assert_eq!(a[0].to_bits(), b[0].to_bits());
+            assert_eq!(a[1].to_bits(), b[1].to_bits());
+        }
+    }
+
+    /// Row groups then column groups of a 2x2 process grid: disjoint
+    /// sub-groups share a tag band concurrently, and each axis sums only
+    /// its own members.
+    #[test]
+    fn grid_row_and_column_group_allreduces() {
+        let (results, _) = run_cluster(4, |c| {
+            // 2x2 grid, dom-fastest: rank = band * 2 + dom
+            let dom = c.rank() % 2;
+            let band = c.rank() / 2;
+            let row: Vec<usize> = vec![band * 2, band * 2 + 1]; // same band, both doms
+            let col: Vec<usize> = vec![dom, dom + 2]; // same dom, both bands
+            let mut v = vec![c.rank() as f64];
+            c.group_allreduce_sum_f64(&row, &mut v, WirePrecision::Fp64)
+                .unwrap();
+            let mut w = vec![c.rank() as f64];
+            c.group_allreduce_sum_f64(&col, &mut w, WirePrecision::Fp64)
+                .unwrap();
+            (v[0], w[0])
+        });
+        // rows: {0,1}->1, {2,3}->5; cols: {0,2}->2, {1,3}->4
+        assert_eq!(
+            results,
+            vec![(1.0, 2.0), (1.0, 4.0), (5.0, 2.0), (5.0, 4.0)]
+        );
+    }
+
+    /// Variable-length block allgather over a sub-group returns blocks in
+    /// member order on every member.
+    #[test]
+    fn group_allgather_assembles_blocks_in_member_order() {
+        let (results, _) = run_cluster(4, |c| {
+            if c.rank() == 3 {
+                return vec![]; // not a member; stays idle
+            }
+            let members = [0usize, 1, 2];
+            let mine: Vec<f64> = (0..=c.rank()).map(|i| (c.rank() * 10 + i) as f64).collect();
+            let blocks = c
+                .group_allgather_f64(&members, &mine, WirePrecision::Fp64)
+                .unwrap();
+            blocks.into_iter().flatten().collect::<Vec<f64>>()
+        });
+        let expect = vec![0.0, 10.0, 11.0, 20.0, 21.0, 22.0];
+        for (r, got) in results.iter().take(3).enumerate() {
+            assert_eq!(*got, expect, "rank {r}");
+        }
+    }
+
+    /// Satellite: audited byte accounting for the sub-group collectives —
+    /// every hop carries only payload (plus the allgather's small length
+    /// frame), and the totals are exact.
+    #[test]
+    fn group_collective_byte_accounting_is_exact() {
+        let len = 10usize;
+        let (_, stats) = run_cluster(4, move |c| {
+            let dom = c.rank() % 2;
+            let band = c.rank() / 2;
+            let row = [band * 2, band * 2 + 1];
+            let mut v = vec![1.0; len];
+            c.group_allreduce_sum_f64(&row, &mut v, WirePrecision::Fp64)
+                .unwrap();
+            // band-axis assembly: columns gathered within each dom column
+            let col = [dom, dom + 2];
+            let _ = c
+                .group_allgather_f64(&col, &v, WirePrecision::Fp64)
+                .unwrap();
+        });
+        // allreduce per 2-member row: 1 contribution + 1 result = 2*len
+        // doubles; two rows -> 4*len. allgather per 2-member col: 1 block
+        // of len + 1 framed return of (1 + 2 + 2*len); two cols.
+        let expect_f64 = 8 * (4 * len + 2 * (len + 3 + 2 * len)) as u64;
+        let (bytes, msgs, f64b, f32b) = stats.snapshot();
+        assert_eq!(f64b, expect_f64);
+        assert_eq!(bytes, expect_f64);
+        assert_eq!(msgs, 8);
+        assert_eq!(f32b, 0);
+    }
+
+    /// FP32 wire on the group reduce demotes the contributions and result
+    /// hops to exactly half the FP64 byte volume.
+    #[test]
+    fn group_allreduce_fp32_wire_halves_bytes() {
+        let len = 64usize;
+        let run = |wire: WirePrecision| {
+            let (_, stats) = run_cluster(2, move |c| {
+                let mut v = vec![0.5; len];
+                c.group_allreduce_sum_f64(&[0, 1], &mut v, wire).unwrap();
+            });
+            stats.snapshot()
+        };
+        let (b64, _, f64b, _) = run(WirePrecision::Fp64);
+        let (b32, _, _, f32b) = run(WirePrecision::Fp32);
+        assert_eq!(b64, f64b);
+        assert_eq!(b32, f32b);
+        assert_eq!(b32 * 2, b64);
+    }
+
+    /// Out-of-order tag matching within a sub-group: a point-to-point
+    /// message posted before the group collective must survive the
+    /// collective's receive scanning (stashed, not dropped) and still be
+    /// deliverable afterwards.
+    #[test]
+    fn out_of_order_tags_within_a_subgroup_are_buffered() {
+        let (results, _) = run_cluster(3, |c| {
+            let members = [0usize, 1, 2];
+            if c.rank() == 1 {
+                // arrives at the root before (or while) it collects the
+                // group contributions on the collective band
+                c.send_f64(0, 41, &[7.0], WirePrecision::Fp64).unwrap();
+            }
+            let mut v = vec![c.rank() as f64];
+            c.group_allreduce_sum_f64(&members, &mut v, WirePrecision::Fp64)
+                .unwrap();
+            if c.rank() == 0 {
+                let side = c.recv_f64(1, 41, WirePrecision::Fp64).unwrap();
+                v[0] + side[0]
+            } else {
+                v[0]
+            }
+        });
+        assert_eq!(results, vec![10.0, 3.0, 3.0]);
+    }
+
+    /// Satellite: one band-column rank dies mid-grid-collective and the
+    /// whole 2x2 grid drains in bounded time — the row peers time out, the
+    /// column peers of the timed-out ranks time out in turn.
+    #[test]
+    fn dead_band_column_rank_poisons_the_whole_grid_in_bounded_time() {
+        let timeout = Duration::from_millis(100);
+        let mut opts = ClusterOptions::with_timeout(timeout);
+        // rank 3 dies on its first send in the group-reduce band
+        opts.faults = Arc::new(FaultPlan::kill_on_send(
+            3,
+            0,
+            GROUP_REDUCE_BAND.wire_range(),
+            0,
+        ));
+        let t0 = Instant::now();
+        let (results, _) = run_cluster_with(4, &opts, |c| {
+            let dom = c.rank() % 2;
+            let band = c.rank() / 2;
+            let row = [band * 2, band * 2 + 1];
+            let col = [dom, dom + 2];
+            // iterate row + column reduces until the failure cascades in
+            for _ in 0..8 {
+                let mut v = vec![1.0];
+                if c.group_allreduce_sum_f64(&row, &mut v, WirePrecision::Fp64)
+                    .is_err()
+                    || c.group_allreduce_sum_f64(&col, &mut v, WirePrecision::Fp64)
+                        .is_err()
+                {
+                    return "failed";
+                }
+            }
+            "ok"
+        });
+        let elapsed = t0.elapsed();
+        for (r, out) in results.iter().enumerate() {
+            assert_eq!(*out, "failed", "rank {r} never observed the dead rank");
+        }
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "grid drain took {elapsed:?} (timeout {timeout:?})"
+        );
+    }
+
+    /// Concurrent per-group broadcasts from distinct roots share the
+    /// k-group band without cross-talk.
+    #[test]
+    fn concurrent_kgroup_broadcasts_do_not_cross_talk() {
+        let (results, _) = run_cluster(4, |c| {
+            let grp: [usize; 2] = if c.rank() < 2 { [0, 1] } else { [2, 3] };
+            let mut v = vec![(grp[0] * 100) as f64];
+            c.group_broadcast_f64(&grp, &mut v, WirePrecision::Fp64)
+                .unwrap();
+            v[0]
+        });
+        assert_eq!(results, vec![0.0, 0.0, 200.0, 200.0]);
     }
 
     /// The `sanitize` feature's message-leak detector and tag-band asserts.

@@ -18,14 +18,18 @@
 //! are written via temp-file + rename, so a torn write is detected (or
 //! never visible) rather than silently resumed from.
 
+use crate::grid::GridShape;
 use crate::operator::WireScalar;
 use dft_linalg::matrix::Matrix;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
-/// On-disk format version (bumped on any layout change).
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// On-disk format version (bumped on any layout change). Version 2 adds
+/// the writing run's process-grid shape and a per-shard list of the global
+/// k-point indices its wavefunction blocks cover (band replicas write no
+/// blocks at all); version 1 shards — every rank, every k — still load.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 8] = *b"DFTCKPT1";
 const COMPLETE_MARKER: &str = "COMPLETE";
@@ -50,7 +54,8 @@ pub struct ReplicatedScfState {
 }
 
 /// A snapshot loaded back from disk, with the wavefunction block assembled
-/// to full DoF rows (ready to restrict to any new partition).
+/// to full DoF rows (ready to restrict to any new partition — including a
+/// different rank count or process-grid shape).
 pub struct LoadedCheckpoint<T> {
     /// The replicated SCF state.
     pub state: ReplicatedScfState,
@@ -58,6 +63,9 @@ pub struct LoadedCheckpoint<T> {
     pub psi_full: Vec<Matrix<T>>,
     /// Rank count of the run that wrote the snapshot.
     pub nranks_at_write: usize,
+    /// Process-grid shape of the writing run (version-1 snapshots report
+    /// the 1D slab shape).
+    pub grid_at_write: GridShape,
 }
 
 /// Directory holding one iteration's snapshot under `root`.
@@ -141,9 +149,10 @@ impl<'a> Cur<'a> {
     }
 }
 
-/// Serialize and write this rank's shard of a snapshot. Returns the number
-/// of bytes written. The write is atomic (temp file + rename); the snapshot
-/// only becomes restartable once [`finalize`] adds the `COMPLETE` marker.
+/// Serialize and write this rank's shard of a snapshot on the 1D slab
+/// layout (every rank holds every k-point). Returns the number of bytes
+/// written. The write is atomic (temp file + rename); the snapshot only
+/// becomes restartable once [`finalize`] adds the `COMPLETE` marker.
 pub fn write_rank<T: WireScalar>(
     root: &Path,
     rank: usize,
@@ -153,10 +162,46 @@ pub fn write_rank<T: WireScalar>(
     owned: &[u32],
     psi_local: &[Matrix<T>],
 ) -> io::Result<u64> {
+    let ks: Vec<usize> = (0..psi_local.len()).collect();
+    let n_states = psi_local.first().map_or(0, Matrix::ncols);
+    write_rank_grid(
+        root,
+        rank,
+        nranks,
+        ndofs,
+        state,
+        owned,
+        psi_local,
+        &ks,
+        psi_local.len(),
+        n_states,
+        GridShape::slab(nranks),
+    )
+}
+
+/// [`write_rank`] for an arbitrary process grid: `psi_local` holds this
+/// rank's blocks for the global k-point indices `ks` (band replicas pass
+/// both empty — they checkpoint only the replicated state), `nk` is the
+/// run's total k-point count and `shape` the writing grid.
+#[allow(clippy::too_many_arguments)]
+pub fn write_rank_grid<T: WireScalar>(
+    root: &Path,
+    rank: usize,
+    nranks: usize,
+    ndofs: usize,
+    state: &ReplicatedScfState,
+    owned: &[u32],
+    psi_local: &[Matrix<T>],
+    ks: &[usize],
+    nk: usize,
+    n_states: usize,
+    shape: GridShape,
+) -> io::Result<u64> {
     let dir = iter_dir(root, state.iteration);
     fs::create_dir_all(&dir)?;
 
-    let n_states = psi_local.first().map_or(0, Matrix::ncols);
+    assert_eq!(psi_local.len(), ks.len(), "one block per listed k");
+    assert!(ks.iter().all(|&ik| ik < nk), "k index out of range");
     let mut buf = Vec::new();
     buf.extend_from_slice(&MAGIC);
     buf.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
@@ -167,7 +212,15 @@ pub fn write_rank<T: WireScalar>(
     push_u64(&mut buf, state.rho_in.len() as u64);
     push_u64(&mut buf, ndofs as u64);
     push_u64(&mut buf, n_states as u64);
-    push_u64(&mut buf, psi_local.len() as u64);
+    push_u64(&mut buf, nk as u64);
+    // version-2 extension: the writing grid and this shard's k coverage
+    buf.extend_from_slice(&(shape.n_dom as u32).to_le_bytes());
+    buf.extend_from_slice(&(shape.n_band as u32).to_le_bytes());
+    buf.extend_from_slice(&(shape.n_kgrp as u32).to_le_bytes());
+    push_u64(&mut buf, ks.len() as u64);
+    for &ik in ks {
+        push_u64(&mut buf, ik as u64);
+    }
 
     push_f64s(&mut buf, &state.rho_in);
     push_f64(&mut buf, state.mu);
@@ -324,6 +377,7 @@ pub fn load<T: WireScalar>(root: &Path, iteration: usize) -> io::Result<LoadedCh
         state,
         psi_full,
         nranks_at_write: header.nranks,
+        grid_at_write: header.shape,
     })
 }
 
@@ -334,6 +388,11 @@ struct Header {
     ndofs: usize,
     n_states: usize,
     nk: usize,
+    /// Writing run's grid shape (slab for version-1 files).
+    shape: GridShape,
+    /// Global k indices of this shard's psi blocks, in block order
+    /// (version 1: all of `0..nk`).
+    ks: Vec<usize>,
 }
 
 fn read_verified(path: &Path) -> io::Result<Vec<u8>> {
@@ -357,9 +416,9 @@ fn parse_header<T: WireScalar>(cur: &mut Cur<'_>, iteration: usize) -> io::Resul
         return Err(bad("bad checkpoint magic"));
     }
     let version = cur.u32()?;
-    if version != CHECKPOINT_VERSION {
+    if version == 0 || version > CHECKPOINT_VERSION {
         return Err(bad(format!(
-            "checkpoint version {version}, expected {CHECKPOINT_VERSION}"
+            "checkpoint version {version}, expected 1..={CHECKPOINT_VERSION}"
         )));
     }
     let _rank = cur.u32()?;
@@ -381,6 +440,29 @@ fn parse_header<T: WireScalar>(cur: &mut Cur<'_>, iteration: usize) -> io::Resul
     if nranks == 0 || nk == 0 {
         return Err(bad("degenerate checkpoint header"));
     }
+    let (shape, ks) = if version >= 2 {
+        let n_dom = cur.u32()? as usize;
+        let n_band = cur.u32()? as usize;
+        let n_kgrp = cur.u32()? as usize;
+        if n_dom == 0 || n_band == 0 || n_kgrp == 0 || n_dom * n_band * n_kgrp != nranks {
+            return Err(bad("checkpoint grid shape does not tile its rank count"));
+        }
+        let nks = cur.u64()? as usize;
+        if nks > nk {
+            return Err(bad("shard covers more k-points than the run has"));
+        }
+        let mut ks = Vec::with_capacity(nks);
+        for _ in 0..nks {
+            let ik = cur.u64()? as usize;
+            if ik >= nk {
+                return Err(bad("shard k index out of range"));
+            }
+            ks.push(ik);
+        }
+        (GridShape::new(n_dom, n_band, n_kgrp), ks)
+    } else {
+        (GridShape::slab(nranks), (0..nk).collect())
+    };
     Ok(Header {
         nranks,
         iteration: it,
@@ -388,6 +470,8 @@ fn parse_header<T: WireScalar>(cur: &mut Cur<'_>, iteration: usize) -> io::Resul
         ndofs,
         n_states,
         nk,
+        shape,
+        ks,
     })
 }
 
@@ -445,7 +529,8 @@ fn absorb_shard<T: WireScalar>(
         owned.push(d);
     }
     let mut comps = vec![0.0f64; n_owned * T::COMPONENTS];
-    for full in psi_full.iter_mut() {
+    for &ik in &h.ks {
+        let full = &mut psi_full[ik];
         for j in 0..h.n_states {
             for c in comps.iter_mut() {
                 *c = cur.f64()?;

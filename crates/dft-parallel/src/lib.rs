@@ -35,6 +35,7 @@
 
 pub mod checkpoint;
 pub mod decomp;
+pub mod grid;
 pub mod operator;
 pub mod recover;
 pub mod reduce;
@@ -42,7 +43,10 @@ pub mod scf;
 
 pub use checkpoint::{LoadedCheckpoint, ReplicatedScfState};
 pub use decomp::Decomposition;
-pub use operator::{ghost_tag_band, DistHamiltonian, DistSpace, SharedComm, WireScalar};
+pub use grid::{GridShape, ProcessGrid};
+pub use operator::{
+    ghost_tag_band, DistHamiltonian, DistSpace, PipelinedFilter, SharedComm, WireScalar,
+};
 pub use recover::{scf_with_recovery, RecoveryReport};
-pub use reduce::{ClusterReducer, CommVolume};
+pub use reduce::{ClusterReducer, CommVolume, GridReducer};
 pub use scf::{distributed_scf, DistScfConfig, DistScfResult, ScfError};

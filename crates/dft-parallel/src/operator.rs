@@ -20,12 +20,15 @@
 //! scheme (Sec. 5.4.2).
 
 use crate::decomp::Decomposition;
+use crate::grid::ProcessGrid;
+use dft_core::chebyshev::{CfDriver, CfScratch};
 use dft_core::hamiltonian::HamOperator;
 use dft_fem::space::{phase_products, FeSpace};
 use dft_hpc::comm::{wire_tag_band, CommError, ThreadComm, WirePrecision};
 use dft_linalg::iterative::LinearOperator;
 use dft_linalg::matrix::Matrix;
 use dft_linalg::scalar::{Real, Scalar, C64};
+use std::sync::atomic::Ordering;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -57,10 +60,11 @@ impl<'a> SharedComm<'a> {
 }
 
 /// The wire-tag band of the ghost exchange (forward + reverse legs, both
-/// precision framings) — for [`FaultPlan`](dft_hpc::comm::FaultPlan) rules
-/// that kill a rank mid-Hamiltonian-apply.
+/// step parities, both precision framings) — for
+/// [`FaultPlan`](dft_hpc::comm::FaultPlan) rules that kill a rank
+/// mid-Hamiltonian-apply.
 pub fn ghost_tag_band() -> (u64, u64) {
-    (wire_tag_band(TAG_FWD).0, wire_tag_band(TAG_REV).1)
+    (wire_tag_band(TAG_FWD).0, wire_tag_band(TAG_FWD2).1)
 }
 
 /// Scalars that can cross the wire as `f64` components: `f64` is itself,
@@ -101,8 +105,23 @@ impl WireScalar for C64 {
 }
 
 /// Ghost-exchange message tags, in a band far from the collectives' tags.
+/// `TAG_FWD2` is the odd-step forward tag of the cross-iteration
+/// double-buffered ghost region: the pipelined filter posts degree step
+/// `k + 1`'s forward exchange while step `k`'s buffers may still be live,
+/// so consecutive steps alternate between the two forward tags.
 const TAG_FWD: u64 = 1 << 55;
 const TAG_REV: u64 = (1 << 55) + 1;
+const TAG_FWD2: u64 = (1 << 55) + 2;
+
+/// The forward ghost tag of Chebyshev degree-step parity `p`.
+#[inline]
+const fn fwd_tag(p: usize) -> u64 {
+    if p.is_multiple_of(2) {
+        TAG_FWD
+    } else {
+        TAG_FWD2
+    }
+}
 
 /// Poll `try_recv_f64` round-robin over `peers` until every payload has
 /// arrived; payloads are returned in the *list* order (not arrival order),
@@ -110,16 +129,16 @@ const TAG_REV: u64 = (1 << 55) + 1;
 /// against the communicator's receive deadline: a peer that never delivers
 /// poisons the communicator with [`CommError::Timeout`] instead of spinning
 /// forever.
-fn harvest<'p>(
+fn harvest(
     comm: &SharedComm<'_>,
-    peers: impl Iterator<Item = &'p usize>,
+    peers: Vec<usize>,
     tag: u64,
     wire: WirePrecision,
 ) -> Result<Vec<Vec<f64>>, CommError> {
-    let peers: Vec<usize> = peers.copied().collect();
     let mut got: Vec<Option<Vec<f64>>> = vec![None; peers.len()];
     let mut remaining = peers.len();
-    let deadline = Instant::now() + comm.with(|c| c.timeout());
+    let t0 = Instant::now();
+    let deadline = t0 + comm.with(|c| c.timeout());
     while remaining > 0 {
         comm.with(|c| -> Result<(), CommError> {
             for (slot, &p) in got.iter_mut().zip(peers.iter()) {
@@ -150,6 +169,14 @@ fn harvest<'p>(
             std::thread::yield_now();
         }
     }
+    // attribute the whole poll to ghost wait: when the payloads were
+    // already in (overlap succeeded) the first pass drains them and the
+    // recorded wait is microseconds; exposed waits dominate otherwise
+    comm.with(|c| {
+        c.stats()
+            .ghost_wait_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed)
+    });
     // dftlint:allow(L001, reason="the wait loop above returns early unless every slot was filled")
     Ok(got.into_iter().map(|s| s.unwrap()).collect())
 }
@@ -158,16 +185,34 @@ fn harvest<'p>(
 pub struct DistSpace<'a> {
     /// The (replicated) global FE space.
     pub space: &'a FeSpace,
-    /// This rank's decomposition.
+    /// This rank's decomposition (over the domain axis).
     pub dec: Decomposition,
+    /// Global rank of each domain slot of this rank's grid row — the
+    /// decomposition's peer indices are *domain* coordinates, which only
+    /// equal global ranks on the 1D slab layout. Ghost exchange always
+    /// stays inside this list (same band column, same k-group).
+    pub rank_of_dom: Vec<usize>,
 }
 
 impl<'a> DistSpace<'a> {
-    /// Build rank `rank` of `nranks`'s view of `space`.
+    /// Build rank `rank` of `nranks`'s view of `space` (1D slab layout:
+    /// every rank is its own domain slot).
     pub fn new(space: &'a FeSpace, rank: usize, nranks: usize) -> Self {
         Self {
             space,
             dec: Decomposition::new(space, rank, nranks),
+            rank_of_dom: (0..nranks).collect(),
+        }
+    }
+
+    /// Build this rank's slab view under a process grid: the mesh is
+    /// decomposed over the grid's domain axis only, and ghost-exchange
+    /// peers are the other domain slots of this rank's grid row.
+    pub fn new_grid(space: &'a FeSpace, grid: &ProcessGrid) -> Self {
+        Self {
+            space,
+            dec: Decomposition::new(space, grid.dom, grid.shape.n_dom),
+            rank_of_dom: grid.dom_group.clone(),
         }
     }
 
@@ -197,14 +242,25 @@ impl<'a> DistSpace<'a> {
         row_scale: Option<&[f64]>,
         wire: WirePrecision,
     ) -> Result<(), CommError> {
-        let dec = &self.dec;
-        let (n_owned, n_ext) = (dec.n_owned(), dec.n_ext());
-        let nc = x.ncols();
-        assert_eq!(x.nrows(), n_owned);
-        assert_eq!(y.shape(), (n_owned, nc));
+        self.post_ghost_sends(comm, x, TAG_FWD, wire)?;
+        self.apply_cells_posted(comm, x, y, phases, row_scale, wire, TAG_FWD)
+    }
 
-        // 1. post the owned boundary rows (raw, unscaled: the receiver owns
-        //    the same global mass diagonal and scales locally)
+    /// Step 1 of the apply, callable on its own: pack the owned boundary
+    /// rows of `x` and `isend` them (raw, unscaled — the receiver owns the
+    /// same global mass diagonal and scales locally) to every ghosting
+    /// peer under `tag`. The pipelined Chebyshev driver posts the *next*
+    /// degree step's exchange this way while the current step's interior
+    /// update is still running.
+    fn post_ghost_sends<T: WireScalar>(
+        &self,
+        comm: &SharedComm<'_>,
+        x: &Matrix<T>,
+        tag: u64,
+        wire: WirePrecision,
+    ) -> Result<(), CommError> {
+        let dec = &self.dec;
+        let nc = x.ncols();
         comm.with(|c| -> Result<(), CommError> {
             for (peer, idxs) in &dec.send_to {
                 let mut buf = Vec::with_capacity(idxs.len() * nc * T::COMPONENTS);
@@ -214,10 +270,30 @@ impl<'a> DistSpace<'a> {
                         T::pack_into(col[l as usize], &mut buf);
                     }
                 }
-                c.isend_f64(*peer, TAG_FWD, &buf, wire)?;
+                c.isend_f64(self.rank_of_dom[*peer], tag, &buf, wire)?;
             }
             Ok(())
-        })?;
+        })
+    }
+
+    /// Steps 2-4 of the apply: the forward exchange of `x` must already be
+    /// in flight under `fwd` ([`Self::post_ghost_sends`]).
+    #[allow(clippy::too_many_arguments)]
+    fn apply_cells_posted<T: WireScalar>(
+        &self,
+        comm: &SharedComm<'_>,
+        x: &Matrix<T>,
+        y: &mut Matrix<T>,
+        phases: [T; 3],
+        row_scale: Option<&[f64]>,
+        wire: WirePrecision,
+        fwd: u64,
+    ) -> Result<(), CommError> {
+        let dec = &self.dec;
+        let (n_owned, n_ext) = (dec.n_owned(), dec.n_ext());
+        let nc = x.ncols();
+        assert_eq!(x.nrows(), n_owned);
+        assert_eq!(y.shape(), (n_owned, nc));
 
         // extended input: owned rows (scaled) now, ghosts after harvest
         let mut x_ext = Matrix::<T>::zeros(n_ext, nc);
@@ -237,7 +313,12 @@ impl<'a> DistSpace<'a> {
         self.run_cells(&dec.interior_cells, &x_ext, &mut y_ext, phases);
 
         // 3. harvest ghosts, then the boundary cells
-        let bufs = harvest(comm, dec.recv_from.iter().map(|(p, _)| p), TAG_FWD, wire)?;
+        let fwd_peers = dec
+            .recv_from
+            .iter()
+            .map(|(p, _)| self.rank_of_dom[*p])
+            .collect();
+        let bufs = harvest(comm, fwd_peers, fwd, wire)?;
         for ((_, idxs), buf) in dec.recv_from.iter().zip(bufs.iter()) {
             assert_eq!(buf.len(), idxs.len() * nc * T::COMPONENTS);
             for j in 0..nc {
@@ -265,11 +346,16 @@ impl<'a> DistSpace<'a> {
                         T::pack_into(col[l as usize], &mut buf);
                     }
                 }
-                c.isend_f64(*peer, TAG_REV, &buf, wire)?;
+                c.isend_f64(self.rank_of_dom[*peer], TAG_REV, &buf, wire)?;
             }
             Ok(())
         })?;
-        let bufs = harvest(comm, dec.send_to.iter().map(|(p, _)| p), TAG_REV, wire)?;
+        let rev_peers = dec
+            .send_to
+            .iter()
+            .map(|(p, _)| self.rank_of_dom[*p])
+            .collect();
+        let bufs = harvest(comm, rev_peers, TAG_REV, wire)?;
         for ((_, idxs), buf) in dec.send_to.iter().zip(bufs.iter()) {
             assert_eq!(buf.len(), idxs.len() * nc * T::COMPONENTS);
             for j in 0..nc {
@@ -379,29 +465,21 @@ impl<'a, 'c, T: WireScalar> DistHamiltonian<'a, 'c, T> {
             wire,
         }
     }
-}
 
-impl<'a, 'c, T: WireScalar> LinearOperator<T> for DistHamiltonian<'a, 'c, T> {
-    fn dim(&self) -> usize {
-        self.dist.dec.n_owned()
+    /// Post the forward ghost exchange of `x` under `tag` without running
+    /// any compute — the pipelined filter's look-ahead leg.
+    fn post_sends(&self, x: &Matrix<T>, tag: u64) -> Result<(), CommError> {
+        self.dist.post_ghost_sends(self.comm, x, tag, self.wire)
     }
 
-    fn apply(&self, x: &Matrix<T>, y: &mut Matrix<T>) {
+    /// One Hamiltonian apply whose forward exchange is already in flight
+    /// under `fwd`: cell kernels plus the `1/2 M^{-1/2} · + v_eff` output
+    /// transform of [`LinearOperator::apply`].
+    fn apply_posted(&self, x: &Matrix<T>, y: &mut Matrix<T>, fwd: u64) -> Result<(), CommError> {
         let dec = &self.dist.dec;
         let s = self.dist.space.inv_sqrt_mass();
-        // y = K M^{-1/2} x on owned rows (input scaling fused, as serial).
-        // The trait signature is infallible: on a comm failure the error is
-        // already recorded in the (poisoned) communicator, so fill the
-        // output with zeros and let the SCF loop observe the failure after
-        // the phase.
-        if self
-            .dist
-            .apply_cells(self.comm, x, y, self.phases, Some(s), self.wire)
-            .is_err()
-        {
-            y.as_mut_slice().fill(T::ZERO);
-            return;
-        }
+        self.dist
+            .apply_cells_posted(self.comm, x, y, self.phases, Some(s), self.wire, fwd)?;
         // y = 1/2 M^{-1/2} y + v x
         for j in 0..y.ncols() {
             let xcol = x.col(j);
@@ -411,6 +489,28 @@ impl<'a, 'c, T: WireScalar> LinearOperator<T> for DistHamiltonian<'a, 'c, T> {
                 *yv = yv.scale(T::Re::from_f64(0.5 * si))
                     + xv.scale(T::Re::from_f64(self.v_eff_owned[l]));
             }
+        }
+        Ok(())
+    }
+}
+
+impl<'a, 'c, T: WireScalar> LinearOperator<T> for DistHamiltonian<'a, 'c, T> {
+    fn dim(&self) -> usize {
+        self.dist.dec.n_owned()
+    }
+
+    fn apply(&self, x: &Matrix<T>, y: &mut Matrix<T>) {
+        // y = K M^{-1/2} x on owned rows (input scaling fused, as serial).
+        // The trait signature is infallible: on a comm failure the error is
+        // already recorded in the (poisoned) communicator, so fill the
+        // output with zeros and let the SCF loop observe the failure after
+        // the phase.
+        if self
+            .post_sends(x, TAG_FWD)
+            .and_then(|()| self.apply_posted(x, y, TAG_FWD))
+            .is_err()
+        {
+            y.as_mut_slice().fill(T::ZERO);
         }
     }
 }
@@ -424,5 +524,145 @@ impl<'a, 'c, T: WireScalar> HamOperator<T> for DistHamiltonian<'a, 'c, T> {
         let per_cell_cols = space.stiffness_apply_flops::<T>(ncols) / space.cells().len() as u64;
         per_cell_cols * dec.range.len() as u64
             + (dec.n_owned() * ncols) as u64 * (3 * T::MUL_FLOPS + T::ADD_FLOPS)
+    }
+}
+
+/// One Chebyshev three-term elementwise update restricted to a row subset:
+/// step 1 is `y <- (y - c x) σ1/e`, later steps are
+/// `hy <- (hy - c y) 2σ2/e - (σ σ2) x` (pass `x2 = Some(x)`). Per-row
+/// arithmetic is independent, so splitting rows into boundary/interior
+/// sweeps cannot change a single bit of the result.
+fn cheb_update_rows<T: Scalar>(
+    out: &mut Matrix<T>,
+    prev: &Matrix<T>,
+    x2: Option<&Matrix<T>>,
+    rows: &[u32],
+    ce: T::Re,
+    se: T::Re,
+    ss2: T::Re,
+) {
+    for j in 0..out.ncols() {
+        let pcol = prev.col(j);
+        let xcol = x2.map(|x| x.col(j));
+        let ocol = out.col_mut(j);
+        for &l in rows {
+            let l = l as usize;
+            let mut v = (ocol[l] - pcol[l].scale(ce)).scale(se);
+            if let Some(xc) = xcol {
+                v -= xc[l].scale(ss2);
+            }
+            ocol[l] = v;
+        }
+    }
+}
+
+/// The cross-iteration-overlapped distributed Chebyshev filter (the
+/// paper's dual-stream scheme, Sec. 5.4.1): as soon as degree step `k` has
+/// updated the *boundary* rows of the next iterate, step `k + 1`'s forward
+/// ghost exchange is posted — so the wire carries it while step `k` is
+/// still updating interior rows and step `k + 1` is running its interior
+/// cell kernels. Consecutive steps alternate between two forward tag
+/// lanes ([`TAG_FWD`] / [`TAG_FWD2`], a double-buffered ghost region), and
+/// a step's look-ahead posts only after the previous step's reverse
+/// harvest completed, so every peer has already drained the older lane.
+///
+/// The recurrence arithmetic is element-for-element that of
+/// [`chebyshev_filter_scratch`] on [`DistHamiltonian`] — results are
+/// bit-identical with overlap on or off; only the wait time moves.
+pub struct PipelinedFilter<'h, 'a, 'c, T: Scalar> {
+    h: &'h DistHamiltonian<'a, 'c, T>,
+    /// Owned rows some peer ghosts (the forward-send payload), sorted.
+    boundary_rows: Vec<u32>,
+    /// The remaining owned rows, sorted.
+    interior_rows: Vec<u32>,
+}
+
+impl<'h, 'a, 'c, T: WireScalar> PipelinedFilter<'h, 'a, 'c, T> {
+    /// Wrap a distributed Hamiltonian for pipelined filtering.
+    pub fn new(h: &'h DistHamiltonian<'a, 'c, T>) -> Self {
+        let dec = &h.dist.dec;
+        let n_owned = dec.n_owned();
+        let mut is_boundary = vec![false; n_owned];
+        for (_, idxs) in &dec.send_to {
+            for &l in idxs {
+                is_boundary[l as usize] = true;
+            }
+        }
+        let (mut boundary_rows, mut interior_rows) = (Vec::new(), Vec::new());
+        for (l, &b) in is_boundary.iter().enumerate() {
+            if b {
+                boundary_rows.push(l as u32);
+            } else {
+                interior_rows.push(l as u32);
+            }
+        }
+        Self {
+            h,
+            boundary_rows,
+            interior_rows,
+        }
+    }
+}
+
+impl<T: WireScalar> CfDriver<T> for PipelinedFilter<'_, '_, '_, T> {
+    fn filter_block(
+        &self,
+        x: &mut Matrix<T>,
+        m: usize,
+        a: f64,
+        b: f64,
+        a0: f64,
+        scratch: &mut CfScratch<T>,
+    ) {
+        assert!(m >= 1 && b > a && a > a0);
+        let (n, nc) = x.shape();
+        let e = (b - a) / 2.0;
+        let c = (b + a) / 2.0;
+        let mut sigma = e / (a0 - c);
+        let sigma1 = sigma;
+        let gamma = 2.0 / sigma1;
+        let (y, hy) = scratch.buffers(n, nc);
+        let ce = T::Re::from_f64(c);
+
+        // On a comm failure the communicator is poisoned; zero the block
+        // (the infallible-apply convention) and let the SCF observe it.
+        macro_rules! or_bail {
+            ($r:expr) => {
+                if $r.is_err() {
+                    x.as_mut_slice().fill(T::ZERO);
+                    return;
+                }
+            };
+        }
+
+        // Step 1: Y = (H X - c X) σ1/e. Nothing is in flight yet, so post
+        // X's exchange here; every later exchange is posted mid-step below.
+        or_bail!(self.h.post_sends(x, fwd_tag(0)));
+        or_bail!(self.h.apply_posted(x, y, fwd_tag(0)));
+        let s1e = T::Re::from_f64(sigma1 / e);
+        let zero = T::Re::from_f64(0.0);
+        cheb_update_rows(y, x, None, &self.boundary_rows, ce, s1e, zero);
+        if m >= 2 {
+            // step 2's input is Y: its boundary rows are final, ship them
+            or_bail!(self.h.post_sends(y, fwd_tag(1)));
+        }
+        cheb_update_rows(y, x, None, &self.interior_rows, ce, s1e, zero);
+
+        for k in 2..=m {
+            let sigma2 = 1.0 / (gamma - sigma);
+            or_bail!(self.h.apply_posted(y, hy, fwd_tag(k - 1)));
+            let s2e = T::Re::from_f64(2.0 * sigma2 / e);
+            let ss2 = T::Re::from_f64(sigma * sigma2);
+            cheb_update_rows(hy, y, Some(x), &self.boundary_rows, ce, s2e, ss2);
+            if k < m {
+                // after the rotation below, HY is step k+1's input
+                or_bail!(self.h.post_sends(hy, fwd_tag(k)));
+            }
+            cheb_update_rows(hy, y, Some(x), &self.interior_rows, ce, s2e, ss2);
+            std::mem::swap(x, y);
+            std::mem::swap(y, hy);
+            sigma = sigma2;
+        }
+        std::mem::swap(x, y);
     }
 }

@@ -112,8 +112,13 @@ pub fn scf_with_recovery<X: XcFunctional + Sync>(
             return Err(err);
         }
         n -= drop_ranks;
-        // relaunch fault-free from the newest complete snapshot
+        // relaunch fault-free from the newest complete snapshot; the
+        // original grid shape cannot tile the reduced rank count, so the
+        // relaunch pins the 1D slab layout explicitly (checkpoints reshard
+        // across grid shapes, and an ambient DFT_GRID knob must not apply
+        // to a shrunk cluster it cannot tile)
         current.faults = Arc::new(FaultPlan::default());
         cfg_attempt.restart = true;
+        cfg_attempt.grid = Some(crate::grid::GridShape::slab(n));
     }
 }

@@ -5,10 +5,21 @@
 //! overlap / projected-Hamiltonian matrices computed from each rank's owned
 //! wavefunction rows are summed with `allreduce_sum_f64`, which gathers in
 //! rank order and broadcasts identical bytes — so every rank factorizes and
-//! diagonalizes the *same* matrix, bit for bit. Reductions always travel in
-//! FP64: the paper's FP32 trick applies only to the boundary ghost exchange,
-//! never to the subspace algebra that controls the final accuracy.
+//! diagonalizes the *same* matrix, bit for bit. Its reductions always
+//! travel in FP64.
+//!
+//! [`GridReducer`] is the 2D-process-grid generalization (Sec. 5.4.2):
+//! each rank computes only its band-column block of every subspace matrix,
+//! the block is summed along the *grid row* (domain sub-group) and the full
+//! matrix reassembled by an allgather along the *grid column* (band
+//! sub-group) — two small sub-communicator collectives instead of one
+//! all-rank reduce over the full `N x N`. Optionally the grid-row leg
+//! carries the off-band-diagonal rows in FP32 (the paper's mixed-precision
+//! subspace scheme); the band-diagonal square every Cholesky pivot lives in
+//! stays FP64, and [`SubspaceReducer::lossy_wire`] makes `chfes_reduced`
+//! run its FP64 orthonormality cleanup pass afterwards.
 
+use crate::grid::ProcessGrid;
 use crate::operator::{SharedComm, WireScalar};
 use dft_core::chebyshev::SubspaceReducer;
 use dft_hpc::comm::WirePrecision;
@@ -65,6 +76,185 @@ impl<'a, 'c, T: WireScalar> SubspaceReducer<T> for ClusterReducer<'a, 'c> {
 
     fn is_distributed(&self) -> bool {
         true
+    }
+}
+
+/// [`SubspaceReducer`] over a process grid: band-column-blocked compute,
+/// grid-row (domain) reduction, grid-column (band) reassembly. K-groups
+/// never meet here — each group reduces its own k-points' subspace
+/// matrices over its own plane.
+pub struct GridReducer<'a, 'c> {
+    comm: &'a SharedComm<'c>,
+    grid: ProcessGrid,
+    /// Ship off-band-diagonal rows of the grid-row reduction in FP32.
+    subspace_fp32: bool,
+}
+
+impl<'a, 'c> GridReducer<'a, 'c> {
+    /// Wrap a shared communicator and this rank's grid view.
+    pub fn new(comm: &'a SharedComm<'c>, grid: &ProcessGrid, subspace_fp32: bool) -> Self {
+        Self {
+            comm,
+            grid: grid.clone(),
+            subspace_fp32,
+        }
+    }
+
+    /// On a comm failure (already recorded in the poisoned communicator)
+    /// substitute the identity so the caller's Cholesky/eigensolve stays
+    /// finite until the SCF loop observes the failure.
+    fn identity_substitute<T: WireScalar>(m: &mut Matrix<T>) {
+        for j in 0..m.ncols() {
+            for (i, v) in m.col_mut(j).iter_mut().enumerate() {
+                *v = if i == j { T::ONE } else { T::ZERO };
+            }
+        }
+    }
+
+    /// Sum this rank's `[j0, j1)` column block over the grid row and
+    /// reassemble the full matrix along the grid column. `lossy` selects
+    /// the FP32 off-diagonal wire (the band-diagonal square `[j0, j1) x
+    /// [j0, j1)` always travels FP64 — Cholesky pivots live there).
+    fn reduce_blocked<T: WireScalar>(&self, m: &mut Matrix<T>, lossy: bool) -> Result<(), ()> {
+        let n = m.ncols();
+        assert_eq!(m.nrows(), n, "subspace matrices are square");
+        let (j0, j1) = self.grid.my_band_cols(n);
+        let bw = j1 - j0;
+
+        // grid-row reduction of the owned block, split by wire precision:
+        // rows [j0, j1) of the block (the band-diagonal square) in FP64,
+        // the rest in FP32 when lossy
+        let mut diag = Vec::with_capacity(bw * bw * T::COMPONENTS);
+        let mut off = Vec::with_capacity(bw * (n - bw) * T::COMPONENTS);
+        for j in j0..j1 {
+            let col = m.col(j);
+            for (i, &v) in col.iter().enumerate() {
+                if (j0..j1).contains(&i) {
+                    T::pack_into(v, &mut diag);
+                } else {
+                    T::pack_into(v, &mut off);
+                }
+            }
+        }
+        let row = &self.grid.dom_group;
+        let off_wire = if lossy {
+            WirePrecision::Fp32
+        } else {
+            WirePrecision::Fp64
+        };
+        self.comm
+            .with(|c| {
+                c.group_allreduce_sum_f64(row, &mut diag, WirePrecision::Fp64)?;
+                c.group_allreduce_sum_f64(row, &mut off, off_wire)
+            })
+            .map_err(|_| ())?;
+
+        // re-interleave the reduced block into one column-major buffer for
+        // the grid-column allgather
+        let mut mine = Vec::with_capacity(bw * n * T::COMPONENTS);
+        let (mut di, mut oi) = (0, 0);
+        for _j in j0..j1 {
+            for i in 0..n {
+                if (j0..j1).contains(&i) {
+                    mine.extend_from_slice(&diag[di..di + T::COMPONENTS]);
+                    di += T::COMPONENTS;
+                } else {
+                    mine.extend_from_slice(&off[oi..oi + T::COMPONENTS]);
+                    oi += T::COMPONENTS;
+                }
+            }
+        }
+        let blocks = self
+            .comm
+            .with(|c| c.group_allgather_f64(&self.grid.band_group, &mine, WirePrecision::Fp64))
+            .map_err(|_| ())?;
+
+        // write every band slot's block: the bytes of slot `b`'s block are
+        // identical on all its grid rows, so the assembled matrix is
+        // bit-identical across the whole plane
+        for (b, block) in blocks.iter().enumerate() {
+            let (g0, g1) = ProcessGrid::band_cols_of(n, self.grid.shape.n_band, b);
+            assert_eq!(block.len(), (g1 - g0) * n * T::COMPONENTS);
+            for j in g0..g1 {
+                for (i, v) in m.col_mut(j).iter_mut().enumerate() {
+                    *v = T::unpack_at(block, (j - g0) * n + i);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a, 'c, T: WireScalar> SubspaceReducer<T> for GridReducer<'a, 'c> {
+    fn reduce_matrix(&self, m: &mut Matrix<T>) {
+        if self.reduce_blocked(m, self.subspace_fp32).is_err() {
+            Self::identity_substitute(m);
+        }
+    }
+
+    fn reduce_matrix_exact(&self, m: &mut Matrix<T>) {
+        if self.reduce_blocked(m, false).is_err() {
+            Self::identity_substitute(m);
+        }
+    }
+
+    fn reduce_f64(&self, v: &mut [f64]) {
+        // wavefunction rows are sharded over the domain axis only (band and
+        // k replicas hold the same rows), so scalar sums reduce over the
+        // grid row alone — and in member order, so every band replica gets
+        // the same bits
+        if self
+            .comm
+            .with(|c| c.group_allreduce_sum_f64(&self.grid.dom_group, v, WirePrecision::Fp64))
+            .is_err()
+        {
+            v.fill(1.0);
+        }
+    }
+
+    fn is_distributed(&self) -> bool {
+        true
+    }
+
+    fn band_cols(&self, n: usize) -> (usize, usize) {
+        self.grid.my_band_cols(n)
+    }
+
+    fn assemble_cols(&self, m: &mut Matrix<T>) {
+        let n = m.ncols();
+        let (j0, j1) = self.grid.my_band_cols(n);
+        if self.grid.shape.n_band == 1 {
+            return;
+        }
+        let nr = m.nrows();
+        let mut mine = Vec::with_capacity((j1 - j0) * nr * T::COMPONENTS);
+        for j in j0..j1 {
+            for &v in m.col(j) {
+                T::pack_into(v, &mut mine);
+            }
+        }
+        let blocks = match self
+            .comm
+            .with(|c| c.group_allgather_f64(&self.grid.band_group, &mine, WirePrecision::Fp64))
+        {
+            Ok(b) => b,
+            // poisoned communicator: leave the block as computed (the SCF
+            // loop observes the failure right after the phase)
+            Err(_) => return,
+        };
+        for (b, block) in blocks.iter().enumerate() {
+            let (g0, g1) = ProcessGrid::band_cols_of(n, self.grid.shape.n_band, b);
+            assert_eq!(block.len(), (g1 - g0) * nr * T::COMPONENTS);
+            for j in g0..g1 {
+                for (i, v) in m.col_mut(j).iter_mut().enumerate() {
+                    *v = T::unpack_at(block, (j - g0) * nr + i);
+                }
+            }
+        }
+    }
+
+    fn lossy_wire(&self) -> bool {
+        self.subspace_fp32
     }
 }
 

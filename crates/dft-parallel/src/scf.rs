@@ -22,9 +22,12 @@
 
 use crate::checkpoint::{self, ReplicatedScfState};
 use crate::decomp::Decomposition;
-use crate::operator::{DistHamiltonian, DistSpace, SharedComm, WireScalar};
-use crate::reduce::{ClusterReducer, CommVolume};
-use dft_core::chebyshev::{chfes_reduced, lanczos_bounds, random_subspace, ChfesOptions};
+use crate::grid::{GridShape, ProcessGrid};
+use crate::operator::{DistHamiltonian, DistSpace, PipelinedFilter, SharedComm, WireScalar};
+use crate::reduce::{ClusterReducer, CommVolume, GridReducer};
+use dft_core::chebyshev::{
+    chfes_reduced, lanczos_bounds, random_subspace, CfFilter, ChfesOptions, SubspaceReducer,
+};
 use dft_core::hamiltonian::KsHamiltonian;
 use dft_core::mixing::AndersonMixer;
 use dft_core::occupation::fermi_occupations;
@@ -95,10 +98,25 @@ pub struct DistScfConfig {
     /// checkpointing regardless of `base.checkpoint_every`.
     pub checkpoint_dir: Option<PathBuf>,
     /// Resume from the newest complete snapshot in `checkpoint_dir` (falls
-    /// back to a fresh start when none exists). The restart rank count may
-    /// differ from the writing run's: shards are reassembled and restricted
-    /// to the freshly derived partition.
+    /// back to a fresh start when none exists). The restart rank count and
+    /// grid shape may differ from the writing run's: shards are reassembled
+    /// and restricted to the freshly derived partition.
     pub restart: bool,
+    /// Process-grid shape (domain x band x k-group; must tile the rank
+    /// count exactly). `None` — the default — runs the PR-3 1D slab path
+    /// bit-for-bit: domain decomposition only, [`ClusterReducer`]
+    /// all-rank reductions.
+    pub grid: Option<GridShape>,
+    /// Cross-iteration ghost overlap: filter with the pipelined Chebyshev
+    /// driver, which posts degree step `k + 1`'s boundary exchange while
+    /// step `k` is still updating interior rows. Bit-identical results;
+    /// only exposed ghost-wait time moves.
+    pub overlap: bool,
+    /// Ship the off-band-diagonal rows of the CholGS overlap and
+    /// Rayleigh-Ritz projected-Hamiltonian grid-row reductions in FP32
+    /// (Sec. 5.4.2). Only meaningful with `grid`; triggers the FP64
+    /// orthonormality cleanup pass after CholGS.
+    pub subspace_fp32: bool,
 }
 
 impl Default for DistScfConfig {
@@ -108,6 +126,9 @@ impl Default for DistScfConfig {
             wire: WirePrecision::Fp64,
             checkpoint_dir: None,
             restart: false,
+            grid: None,
+            overlap: false,
+            subspace_fp32: false,
         }
     }
 }
@@ -253,21 +274,48 @@ fn dist_scf_impl<T: ScalarExt>(
     let wsum: f64 = kpts.iter().map(|k| k.weight).sum();
     assert!((wsum - 1.0).abs() < 1e-10, "k-point weights must sum to 1");
 
+    // the process grid: config wins, then the DFT_GRID env knob; `None`
+    // degenerates to the 1D slab (every rank its own domain slot, identity
+    // groups) and keeps the original code route
+    let grid_requested = cfg.grid.or_else(GridShape::from_env);
+    let shape = grid_requested.unwrap_or_else(|| GridShape::slab(nranks));
+    let pgrid = ProcessGrid::new(shape, rank, nranks);
+    let grid_mode = grid_requested.is_some();
+
     let shared = SharedComm::new(comm);
-    let dist = DistSpace::new(space, rank, nranks);
+    let dist = DistSpace::new_grid(space, &pgrid);
     let dec = &dist.dec;
-    let reducer = ClusterReducer::new(&shared);
+    // grid mode reduces along the grid axes (and optionally ships FP32
+    // off-band-diagonal blocks); the 1D path keeps the PR-3 all-rank
+    // reducer bit-for-bit
+    let cluster_reducer;
+    let grid_reducer;
+    let reducer: &dyn SubspaceReducer<T> = if grid_mode {
+        grid_reducer = GridReducer::new(&shared, &pgrid, cfg.subspace_fp32);
+        &grid_reducer
+    } else {
+        cluster_reducer = ClusterReducer::new(&shared);
+        &cluster_reducer
+    };
     let comm_start = CommVolume::snapshot(&shared);
 
     let rho_ion = system.ion_density(space);
     let mut rho_in = system.initial_density(space);
-    // Anderson weights masked to owned nodes: each rank's weighted dots are
-    // partial sums, and the Gram allreduce reassembles the serial Gram
+    // Anderson weights masked to owned nodes — and to the (band 0,
+    // k-group 0) replica of each slab, so every node weighs in exactly
+    // once: each rank's weighted dots are partial sums, and the Gram
+    // allreduce reassembles the serial Gram
     let masked_weights: Vec<f64> = space
         .mass_diag()
         .iter()
         .enumerate()
-        .map(|(i, &w)| if dec.owned_node[i] { w } else { 0.0 })
+        .map(|(i, &w)| {
+            if dec.owned_node[i] && pgrid.owns_replicated_fields() {
+                w
+            } else {
+                0.0
+            }
+        })
         .collect();
     let mut mixer = AndersonMixer::new(base.mixing_alpha, base.anderson_depth, masked_weights);
     // infallible closure shape: a failed allreduce poisons the communicator
@@ -276,9 +324,13 @@ fn dist_scf_impl<T: ScalarExt>(
         let _ = shared.with(|c| c.allreduce_sum_f64(b, WirePrecision::Fp64));
     };
 
-    // per-k state: every rank draws the identical full random subspace and
-    // keeps its owned rows — sharding without a scatter
-    let mut psi: Vec<Matrix<T>> = (0..kpts.len())
+    // this rank's k-points (the k-group's contiguous slice; all of them
+    // off grid mode) — psi is stored for those only, indexed `ik - k0`
+    let (k0, k1) = pgrid.my_kpoints(kpts.len());
+    // per-k state: every rank draws the identical full random subspace for
+    // its ks — seeded by the *global* k index, so any grid layout starts
+    // from the same wavefunctions — and keeps its owned rows
+    let mut psi: Vec<Matrix<T>> = (k0..k1)
         .map(|ik| {
             let full = random_subspace::<T>(nd, base.n_states, base.seed + ik as u64);
             let mut local = Matrix::<T>::zeros(dec.n_owned(), base.n_states);
@@ -325,10 +377,11 @@ fn dist_scf_impl<T: ScalarExt>(
                 mixer.restore_history(loaded.state.mixer_history.clone());
                 filter_window = loaded.state.filter_windows.clone();
                 residual_history = loaded.state.residual_history.clone();
-                for (ik, full) in loaded.psi_full.iter().enumerate() {
+                for ik in k0..k1 {
+                    let full = &loaded.psi_full[ik];
                     for j in 0..base.n_states {
                         let src = full.col(j);
-                        for (l, dst) in psi[ik].col_mut(j).iter_mut().enumerate() {
+                        for (l, dst) in psi[ik - k0].col_mut(j).iter_mut().enumerate() {
                             *dst = src[dec.owned[l] as usize];
                         }
                     }
@@ -367,8 +420,29 @@ fn dist_scf_impl<T: ScalarExt>(
                     filter_windows: filter_window.clone(),
                     residual_history: residual_history.clone(),
                 };
-                let bytes = checkpoint::write_rank(dir, rank, nranks, nd, &state, &dec.owned, &psi)
-                    .map_err(|_| ScfError::Checkpoint { iteration: iter })?;
+                // band replicas hold identical psi columns: only the band-0
+                // rank of each (domain, k-group) slot writes wavefunction
+                // blocks, tagged with the global k indices they cover
+                let my_ks: Vec<usize> = (k0..k1).collect();
+                let (ck_ks, ck_psi): (&[usize], &[Matrix<T>]) = if pgrid.band == 0 {
+                    (&my_ks, &psi)
+                } else {
+                    (&[], &[])
+                };
+                let bytes = checkpoint::write_rank_grid(
+                    dir,
+                    rank,
+                    nranks,
+                    nd,
+                    &state,
+                    &dec.owned,
+                    ck_psi,
+                    ck_ks,
+                    kpts.len(),
+                    base.n_states,
+                    shape,
+                )
+                .map_err(|_| ScfError::Checkpoint { iteration: iter })?;
                 scope.add_bytes(bytes);
                 // every shard must land before the snapshot is declared
                 // complete; the barrier doubles as the failure detector
@@ -411,8 +485,9 @@ fn dist_scf_impl<T: ScalarExt>(
             }
         }
 
-        // ---- distributed eigenproblem per k-point ----------------------
-        for (ik, k) in kpts.iter().enumerate() {
+        // ---- distributed eigenproblem per owned k-point ----------------
+        for ik in k0..k1 {
+            let k = &kpts[ik];
             let ph = phases_for::<T>(space, k);
             // spectral bounds from the replicated serial operator: pure
             // local recomputation, bit-identical on every rank, no comm
@@ -439,16 +514,25 @@ fn dist_scf_impl<T: ScalarExt>(
                 filter_window[ik].unwrap_or((tmin - 1.0, tmin + 0.1 * (tmax - tmin)));
             a0 = a0.min(tmin - 1.0);
             a = a.clamp(a0 + 1e-3 * (tmax - a0), 0.9 * tmax);
+            // overlap mode swaps the plain filter operator for the
+            // pipelined driver (same arithmetic, look-ahead ghost posts)
+            let pipelined;
+            let filter = if cfg.overlap {
+                pipelined = PipelinedFilter::new(&h_filter);
+                CfFilter::Driver(&pipelined)
+            } else {
+                CfFilter::Op(&h_filter)
+            };
             let mut evals = vec![];
             for _ in 0..passes {
                 evals = chfes_reduced(
                     &h,
-                    Some(&h_filter),
-                    &mut psi[ik],
+                    filter,
+                    &mut psi[ik - k0],
                     (a0, a, tmax),
                     &opts,
                     profile,
-                    &reducer,
+                    reducer,
                 );
                 let top = evals[base.n_states - 1];
                 let spread = (top - evals[0]).max(0.1);
@@ -467,6 +551,41 @@ fn dist_scf_impl<T: ScalarExt>(
             }
         }
 
+        // ---- cross-k-group exchange ------------------------------------
+        // Occupations couple all k-points through the shared chemical
+        // potential, so every rank needs every k's eigenvalues (and the
+        // filter windows, so checkpoints stay fully replicated). Each
+        // group's (dom 0, band 0) root contributes its ks to a k-root
+        // allreduce, then broadcasts the assembled buffer into its plane.
+        if shape.n_kgrp > 1 {
+            let _scope = PhaseScope::new(profile, Phase::Other);
+            let stride = base.n_states + 2;
+            let mut buf = vec![0.0; kpts.len() * stride];
+            if pgrid.dom == 0 && pgrid.band == 0 {
+                for ik in k0..k1 {
+                    let o = ik * stride;
+                    buf[o..o + base.n_states].copy_from_slice(&eigenvalues[ik]);
+                    if let Some((wa0, wa)) = filter_window[ik] {
+                        buf[o + base.n_states] = wa0;
+                        buf[o + base.n_states + 1] = wa;
+                    }
+                }
+                shared
+                    .with(|c| {
+                        c.group_allreduce_sum_f64(&pgrid.k_roots, &mut buf, WirePrecision::Fp64)
+                    })
+                    .map_err(|e| lost(iter, e))?;
+            }
+            shared
+                .with(|c| c.group_broadcast_f64(&pgrid.kgrp_group, &mut buf, WirePrecision::Fp64))
+                .map_err(|e| lost(iter, e))?;
+            for ik in 0..kpts.len() {
+                let o = ik * stride;
+                eigenvalues[ik] = buf[o..o + base.n_states].to_vec();
+                filter_window[ik] = Some((buf[o + base.n_states], buf[o + base.n_states + 1]));
+            }
+        }
+
         // ---- occupations & density -------------------------------------
         let occ = {
             let _scope = PhaseScope::new(profile, Phase::Other);
@@ -479,16 +598,21 @@ fn dist_scf_impl<T: ScalarExt>(
             let mut scope = PhaseScope::new(profile, Phase::Dc);
             rho_out = vec![0.0; space.nnodes()];
             let s = space.inv_sqrt_mass();
-            for ik in 0..kpts.len() {
+            // each rank contributes its owned rows x its band columns x its
+            // ks: the three grid axes partition the serial triple sum, so
+            // the single global allreduce below counts every term exactly
+            // once (the cross-k-group density sum rides the same wire)
+            let (j0b, j1b) = pgrid.my_band_cols(base.n_states);
+            for ik in k0..k1 {
                 let w = kpts[ik].weight;
-                for i in 0..base.n_states {
+                for i in j0b..j1b {
                     let f = occupations[ik][i];
                     if f < 1e-14 {
                         continue;
                     }
                     scope.add_flops(dec.n_owned() as u64 * (T::MUL_FLOPS + 4));
                     scope.add_bytes(dec.n_owned() as u64 * std::mem::size_of::<T>() as u64);
-                    let col = psi[ik].col(i);
+                    let col = psi[ik - k0].col(i);
                     for (l, &v) in col.iter().enumerate() {
                         let d = dec.owned[l] as usize;
                         let amp = v.abs_sq().to_f64() * s[d] * s[d];

@@ -28,6 +28,9 @@ cargo test -q --offline -p dft-parallel
 echo "==> fault-injection suite (kills, timeouts, checkpoint/restart recovery)"
 cargo test -q --offline --release -p dft-parallel --test fault_tolerance
 
+echo "==> process-grid suite (2x2 and 2x2x2 layouts, overlap, FP32 subspace, reshard restart)"
+cargo test -q --offline --release -p dft-parallel --test grid
+
 echo "==> comm sanitizer (debug profile): message-leak + tag-band runtime checks"
 cargo test -q --offline -p dft-hpc --features sanitize comm::
 cargo test -q --offline -p dft-parallel --features sanitize --test fault_tolerance
