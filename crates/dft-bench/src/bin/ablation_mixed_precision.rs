@@ -62,12 +62,11 @@ fn main() {
     // FP32 wire (Cholesky pivot blocks and the cleanup pass stay FP64)
     // leaves the energy within the 1e-8 Ha acceptance band
     let run_grid = |subspace_fp32: bool| {
-        let dcfg = DistScfConfig {
-            base: ms.scf_config(), // all-FP64 base; only the subspace wire varies
-            grid: Some(GridShape::new(4, 2, 1)),
-            subspace_fp32,
-            ..DistScfConfig::default()
-        };
+        // all-FP64 base; only the subspace wire varies
+        let mut dcfg = DistScfConfig::new(ms.scf_config()).with_grid(GridShape::new(4, 2, 1));
+        if subspace_fp32 {
+            dcfg = dcfg.with_subspace_fp32();
+        }
         let (space, sys) = (ms.space(), ms.atomic_system());
         let (res, stats) = run_cluster(8, move |c| {
             distributed_scf(c, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()]).expect("scf")

@@ -121,10 +121,7 @@ fn main() {
     };
 
     section("Uninterrupted 4-rank reference");
-    let dcfg = DistScfConfig {
-        base: cfg.clone(),
-        ..DistScfConfig::default()
-    };
+    let dcfg = DistScfConfig::new(cfg.clone());
     let t0 = Instant::now();
     let (reference, _) = run_cluster(NRANKS, |comm| {
         distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()]).expect("scf")
@@ -144,13 +141,8 @@ fn main() {
     section("Checkpoint overhead — snapshots every 2 iterations");
     let ckpt_dir = std::env::temp_dir().join(format!("dft-bench-recovery-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&ckpt_dir);
-    let mut base_ck = cfg.clone();
-    base_ck.checkpoint_every = CHECKPOINT_EVERY;
-    let dcfg_ck = DistScfConfig {
-        base: base_ck,
-        checkpoint_dir: Some(ckpt_dir.clone()),
-        ..DistScfConfig::default()
-    };
+    let dcfg_ck =
+        DistScfConfig::new(cfg.clone()).with_checkpoints(ckpt_dir.clone(), CHECKPOINT_EVERY);
     let t0 = Instant::now();
     let (with_ck, _) = run_cluster(NRANKS, |comm| {
         distributed_scf(comm, &space, &sys, &Lda, &dcfg_ck, &[KPoint::gamma()]).expect("scf")

@@ -186,11 +186,7 @@ fn main() {
         system.ndofs, system.ncells, system.n_states
     );
 
-    let dcfg64 = DistScfConfig {
-        base: cfg.clone(),
-        wire: WirePrecision::Fp64,
-        ..DistScfConfig::default()
-    };
+    let dcfg64 = DistScfConfig::new(cfg.clone()).with_wire(WirePrecision::Fp64);
     let mut runs: Vec<RankRun> = Vec::new();
     for nranks in [1usize, 2, 4, 8] {
         let (mut run, energy, _) = scf_run(&space, &sys, &dcfg64, nranks, &[KPoint::gamma()]);
@@ -212,11 +208,7 @@ fn main() {
     }
 
     section("FP32 boundary wire vs FP64 — 4 ranks");
-    let dcfg32 = DistScfConfig {
-        base: cfg.clone(),
-        wire: WirePrecision::Fp32,
-        ..DistScfConfig::default()
-    };
+    let dcfg32 = DistScfConfig::new(cfg.clone()).with_wire(WirePrecision::Fp32);
     let (run32, e32, _) = scf_run(&space, &sys, &dcfg32, 4, &[KPoint::gamma()]);
     let run64 = runs.iter().find(|r| r.nranks == 4).expect("4-rank run");
     let wire = WireComparison {
@@ -267,11 +259,7 @@ fn main() {
         GridShape::new(4, 2, 1),
         GridShape::new(2, 2, 2),
     ] {
-        let dcfg = DistScfConfig {
-            base: cfg_grid.clone(),
-            grid: Some(shape),
-            ..DistScfConfig::default()
-        };
+        let dcfg = DistScfConfig::new(cfg_grid.clone()).with_grid(shape);
         let (run, energy, _) = scf_run(&space, &sys, &dcfg, 8, &kpts2);
         let red = reduction_seconds(&run);
         println!(
@@ -292,15 +280,8 @@ fn main() {
     }
 
     section("Cross-iteration ghost overlap — 4x2x1, 8 ranks");
-    let dcfg_grid = DistScfConfig {
-        base: cfg.clone(),
-        grid: Some(GridShape::new(4, 2, 1)),
-        ..DistScfConfig::default()
-    };
-    let dcfg_ov = DistScfConfig {
-        overlap: true,
-        ..dcfg_grid.clone()
-    };
+    let dcfg_grid = DistScfConfig::new(cfg.clone()).with_grid(GridShape::new(4, 2, 1));
+    let dcfg_ov = dcfg_grid.clone().with_overlap();
     let (run_no_ov, e_no_ov, wait_no_ov) = scf_run(&space, &sys, &dcfg_grid, 8, &[KPoint::gamma()]);
     let (_, e_ov, wait_ov) = scf_run(&space, &sys, &dcfg_ov, 8, &[KPoint::gamma()]);
     let overlap = OverlapComparison {
@@ -318,10 +299,7 @@ fn main() {
     );
 
     section("FP32 subspace reductions — 4x2x1, 8 ranks");
-    let dcfg_sub32 = DistScfConfig {
-        subspace_fp32: true,
-        ..dcfg_grid.clone()
-    };
+    let dcfg_sub32 = dcfg_grid.clone().with_subspace_fp32();
     let (run_sub32, e_sub32, _) = scf_run(&space, &sys, &dcfg_sub32, 8, &[KPoint::gamma()]);
     let subspace_fp32 = SubspaceFp32Ablation {
         nranks: 8,

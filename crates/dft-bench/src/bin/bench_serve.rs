@@ -1,0 +1,357 @@
+//! Burst-traffic benchmark of the `dft-serve` multi-tenant job server,
+//! emitting `BENCH_serve.json`.
+//!
+//! The burst pushes 512 miniature jobs from four tenants through a
+//! four-slot rank pool: one job carries a rank-kill fault plan (recovery
+//! must shrink the pool and reconverge), three long `Low`-priority
+//! relaxations saturate the pool so a `High` submission forces a
+//! checkpoint/preempt/resume cycle, and the remaining jobs cycle over
+//! eight distinct structures so the converged-state cache serves most of
+//! them warm. Every served single-SCF energy is compared against a
+//! dedicated single-job run of the same structure.
+//!
+//! Flags:
+//! - `--stdout`         print the JSON instead of writing `BENCH_serve.json`
+//! - `--check [path]`   validate an existing artifact (CI mode; exits
+//!   nonzero on schema or invariant violations)
+
+use dft_bench::section;
+use dft_bench::serve::{
+    ServeAccuracy, ServeBench, ServeCacheStats, ServeDisruptions, ServeLatency, ServeSetup,
+    ServeTraffic,
+};
+use dft_core::system::{Atom, AtomKind};
+use dft_hpc::comm::FaultPlan;
+use dft_serve::{
+    DftServer, JobKind, JobOutcome, JobRequest, JobSpec, JobStatus, JobTicket, Priority,
+    ServerConfig,
+};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const POOL_RANKS: usize = 4;
+const TOTAL_JOBS: usize = 512;
+const VARIANTS: usize = 8;
+const TENANTS: [&str; 4] = ["alice", "bob", "carol", "dave"];
+const CHECKPOINT_EVERY: usize = 2;
+const TIMEOUT: Duration = Duration::from_millis(1500);
+/// Background relaxations long enough to still be running when the
+/// preempting `High` job arrives.
+const RELAX_STEPS: usize = 150;
+
+/// Distinct single-atom problems: the atom slides along x, so each variant
+/// is a physically different structure with its own cache-key class.
+fn mini_spec(variant: usize) -> JobSpec {
+    let off = variant as f64 * 0.15;
+    JobSpec::miniature(
+        vec![Atom {
+            kind: AtomKind::Pseudo { z: 2.0, r_c: 0.8 },
+            pos: [2.0 + off, 3.0, 3.0],
+        }],
+        6.0,
+    )
+}
+
+/// A stretched diatomic whose relaxation occupies a rank slot for a long,
+/// controllable stretch — the preemption fodder.
+fn diatomic_spec() -> JobSpec {
+    JobSpec::miniature(
+        vec![
+            Atom {
+                kind: AtomKind::Pseudo { z: 1.0, r_c: 0.7 },
+                pos: [2.2, 3.0, 3.0],
+            },
+            Atom {
+                kind: AtomKind::Pseudo { z: 1.0, r_c: 0.7 },
+                pos: [3.8, 3.0, 3.0],
+            },
+        ],
+        6.0,
+    )
+}
+
+fn fresh_root(label: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dft-bench-serve-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn check(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let report: ServeBench =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    match report.validate() {
+        Ok(()) => {
+            println!("{path}: schema and invariants OK");
+            std::process::exit(0)
+        }
+        Err(msg) => {
+            eprintln!("{path}: INVALID — {msg}");
+            std::process::exit(1)
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        check(
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or("BENCH_serve.json"),
+        );
+    }
+    let stdout_only = args.iter().any(|a| a == "--stdout");
+
+    section("Dedicated single-job references (one per distinct structure)");
+    let mut ref_cfg = ServerConfig::new(fresh_root("reference"));
+    ref_cfg.pool_ranks = 2;
+    let ref_server = DftServer::start(ref_cfg).expect("start reference server");
+    let mut reference = [0.0f64; VARIANTS];
+    for (v, e) in reference.iter_mut().enumerate() {
+        let out = ref_server
+            .submit(JobRequest::new(
+                "reference",
+                Priority::Normal,
+                JobKind::Scf,
+                mini_spec(v),
+            ))
+            .expect("admit reference")
+            .wait()
+            .expect("reference outcome");
+        assert_eq!(out.status, JobStatus::Completed, "reference {v} failed");
+        assert!(out.converged, "reference {v} did not converge");
+        *e = out.free_energy;
+        println!(
+            "structure {v}: E = {:+.10} Ha ({} iters)",
+            e, out.scf_iterations
+        );
+    }
+    ref_server.drain();
+
+    section(
+        format!(
+            "Burst: {TOTAL_JOBS} jobs, {POOL_RANKS}-slot pool, {} tenants",
+            TENANTS.len()
+        )
+        .as_str(),
+    );
+    let mut cfg = ServerConfig::new(fresh_root("burst"));
+    cfg.pool_ranks = POOL_RANKS;
+    cfg.checkpoint_every = CHECKPOINT_EVERY;
+    cfg.timeout = TIMEOUT;
+    cfg.relax_gamma = 0.05;
+    let server = DftServer::start(cfg).expect("start burst server");
+    let t0 = Instant::now();
+
+    // outcome collection: (variant for energy parity; None = relaxation)
+    let mut tickets: Vec<(Option<usize>, JobTicket)> = Vec::with_capacity(TOTAL_JOBS);
+
+    // 1. the injected rank kill: a two-rank gang whose rank 1 dies at SCF
+    //    iteration 3; recovery relaunches the survivor from its snapshot
+    //    and the dead rank is burned from the pool
+    let mut kill_spec = mini_spec(0);
+    kill_spec.ranks = 2;
+    let kill_ticket = server
+        .submit(
+            JobRequest::new("alice", Priority::Normal, JobKind::Scf, kill_spec)
+                .with_faults(FaultPlan::kill_at_epoch(1, 3)),
+        )
+        .expect("admit kill job");
+    let kill_out = kill_ticket.wait().expect("kill job outcome");
+    assert_eq!(kill_out.status, JobStatus::Completed, "kill job failed");
+    assert!(kill_out.recoveries >= 1, "kill never forced a relaunch");
+    println!(
+        "kill job: {} recovery, {} rank lost, E = {:+.10} Ha",
+        kill_out.recoveries, kill_out.ranks_lost, kill_out.free_energy
+    );
+
+    // 2. force a preemption: fill every remaining slot with long Low
+    //    relaxations, then submit a High job into the saturated pool
+    let mut relax_tickets = Vec::new();
+    for t in &TENANTS[..3] {
+        relax_tickets.push(
+            server
+                .submit(JobRequest::new(
+                    t,
+                    Priority::Low,
+                    JobKind::Relax { steps: RELAX_STEPS },
+                    diatomic_spec(),
+                ))
+                .expect("admit background relaxation"),
+        );
+    }
+    std::thread::sleep(Duration::from_millis(150)); // let them occupy the pool
+    let urgent = server
+        .submit(JobRequest::new(
+            "dave",
+            Priority::High,
+            JobKind::Scf,
+            mini_spec(1),
+        ))
+        .expect("admit urgent job");
+    let urgent_out = urgent.wait().expect("urgent outcome");
+    assert_eq!(urgent_out.status, JobStatus::Completed, "urgent job failed");
+    println!(
+        "urgent High job served in {:.0} ms through a saturated pool",
+        urgent_out.latency_ms
+    );
+
+    // 3. the main burst: everything else cycles tenants and structures
+    let already = 2 + relax_tickets.len();
+    for i in 0..TOTAL_JOBS - already {
+        let v = i % VARIANTS;
+        let req = JobRequest::new(
+            TENANTS[i % TENANTS.len()],
+            Priority::Normal,
+            JobKind::Scf,
+            mini_spec(v),
+        );
+        tickets.push((Some(v), server.submit(req).expect("admit burst job")));
+    }
+    println!("{} burst jobs queued", tickets.len());
+
+    // collect every outcome; admitted jobs must never be lost
+    let mut outcomes: Vec<(Option<usize>, JobOutcome)> = Vec::with_capacity(TOTAL_JOBS);
+    outcomes.push((Some(0), kill_out));
+    outcomes.push((Some(1), urgent_out));
+    let mut lost = 0usize;
+    for (v, t) in tickets {
+        match t.wait() {
+            Some(out) => outcomes.push((v, out)),
+            None => lost += 1,
+        }
+    }
+    for t in relax_tickets {
+        match t.wait() {
+            Some(out) => outcomes.push((None, out)),
+            None => lost += 1,
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = server.drain();
+
+    section("Accounting");
+    let completed = outcomes
+        .iter()
+        .filter(|(_, o)| o.status == JobStatus::Completed)
+        .count();
+    let failed = outcomes.len() - completed;
+    let mut latencies: Vec<f64> = outcomes.iter().map(|(_, o)| o.latency_ms).collect();
+    latencies.sort_by(f64::total_cmp);
+
+    // cold/warm iteration split and energy parity over the single-SCF jobs
+    let (mut cold_n, mut cold_sum, mut warm_n, mut warm_sum) = (0usize, 0usize, 0usize, 0usize);
+    let mut max_de = 0.0f64;
+    let mut compared = 0usize;
+    for (variant, out) in &outcomes {
+        let Some(v) = variant else { continue };
+        if out.cache_hit {
+            warm_n += 1;
+            warm_sum += out.scf_iterations;
+        } else {
+            cold_n += 1;
+            cold_sum += out.scf_iterations;
+        }
+        let de = (out.free_energy - reference[*v]).abs();
+        max_de = max_de.max(de);
+        compared += 1;
+    }
+    let cold_mean = cold_sum as f64 / cold_n.max(1) as f64;
+    let warm_mean = warm_sum as f64 / warm_n.max(1) as f64;
+
+    let bench = ServeBench {
+        note: "threaded MPI stand-in (ranks = threads); 512 miniature LDA jobs over 8 \
+               single-atom structures plus 3 background diatomic relaxations; one injected \
+               rank kill (detected by the 1.5 s receive deadline, survivor resumes from \
+               snapshot, dead rank burned from the pool) and one forced preemption of a \
+               Low relaxation by a High submission into the saturated pool; warm starts \
+               resume from donor jobs' exported converged snapshots; energies are free \
+               energies compared against dedicated single-job solves"
+            .to_string(),
+        setup: ServeSetup {
+            pool_ranks: POOL_RANKS,
+            tenants: TENANTS.len(),
+            distinct_problems: VARIANTS,
+            checkpoint_every: CHECKPOINT_EVERY,
+            timeout_seconds: TIMEOUT.as_secs_f64(),
+        },
+        traffic: ServeTraffic {
+            submitted: outcomes.len() + lost,
+            completed,
+            failed,
+            lost,
+            max_queue_depth: stats.max_queue_depth,
+        },
+        latency: ServeLatency {
+            p50_ms: percentile(&latencies, 0.50),
+            p99_ms: percentile(&latencies, 0.99),
+            max_ms: *latencies.last().expect("nonempty burst"),
+            wall_seconds: wall,
+            throughput_jobs_per_s: completed as f64 / wall,
+        },
+        cache: ServeCacheStats {
+            hits: stats.cache_hits,
+            misses: stats.cache_misses,
+            spaces_built: stats.spaces_built,
+            cold_jobs: cold_n,
+            warm_jobs: warm_n,
+            cold_iterations_mean: cold_mean,
+            warm_iterations_mean: warm_mean,
+            warm_over_cold_percent: 100.0 * warm_mean / cold_mean,
+        },
+        disruptions: ServeDisruptions {
+            injected_kills: 1,
+            recoveries: stats.recoveries,
+            ranks_burned: stats.ranks_burned,
+            preemptions: stats.preemptions,
+        },
+        accuracy: ServeAccuracy {
+            reference_jobs: VARIANTS,
+            compared_jobs: compared,
+            max_abs_energy_diff_ha: max_de,
+        },
+    };
+
+    println!(
+        "{} completed / {} failed / {} lost in {:.2} s ({:.0} jobs/s)",
+        completed, failed, lost, wall, bench.latency.throughput_jobs_per_s
+    );
+    println!(
+        "latency p50 = {:.0} ms, p99 = {:.0} ms, max = {:.0} ms",
+        bench.latency.p50_ms, bench.latency.p99_ms, bench.latency.max_ms
+    );
+    println!(
+        "cache: {} hits / {} misses, cold mean {:.1} iters, warm mean {:.1} iters ({:.1}%)",
+        bench.cache.hits,
+        bench.cache.misses,
+        cold_mean,
+        warm_mean,
+        bench.cache.warm_over_cold_percent
+    );
+    println!(
+        "disruptions: {} recoveries, {} rank burned, {} preemptions",
+        bench.disruptions.recoveries, bench.disruptions.ranks_burned, bench.disruptions.preemptions
+    );
+    println!(
+        "energy parity: max |dE| = {:.3e} Ha over {} served jobs",
+        max_de, compared
+    );
+
+    bench
+        .validate()
+        .expect("emitted report must satisfy its own schema");
+    let json = serde_json::to_string_pretty(&bench).expect("serializable");
+    if stdout_only {
+        println!("{json}");
+    } else {
+        std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+        println!();
+        println!("wrote BENCH_serve.json");
+    }
+}

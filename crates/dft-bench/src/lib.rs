@@ -10,11 +10,13 @@
 pub mod pipeline;
 pub mod recovery;
 pub mod scaling;
+pub mod serve;
 pub mod systems;
 
 pub use pipeline::{train_mlxc_from_invdft, MiniSystem, PipelineConfig};
 pub use recovery::RecoveryBench;
 pub use scaling::{CommBytes, RankRun, ScalingReport, WireComparison, CHFES_PHASES};
+pub use serve::ServeBench;
 pub use systems::{
     disloc_mg_y, twin_disloc_mg_y_a, twin_disloc_mg_y_b, twin_disloc_mg_y_c, ybcd_quasicrystal,
 };

@@ -1,0 +1,339 @@
+//! Schema and validation of `BENCH_serve.json`, the artifact emitted by the
+//! `bench_serve` binary: a burst of miniature DFT jobs pushed through the
+//! multi-tenant `dft-serve` scheduler, with an injected rank kill, a forced
+//! preemption/resume cycle, converged-state cache reuse, and latency
+//! percentiles over the whole burst.
+
+use serde::{Deserialize, Serialize};
+
+/// The server and workload shape.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeSetup {
+    /// Rank slots in the worker pool at start (kills shrink it).
+    pub pool_ranks: usize,
+    /// Distinct tenants submitting.
+    pub tenants: usize,
+    /// Physically distinct problems in the burst (cache-key classes).
+    pub distinct_problems: usize,
+    /// Snapshot cadence in SCF iterations.
+    pub checkpoint_every: usize,
+    /// Communicator receive deadline in seconds (failure-detection bound).
+    pub timeout_seconds: f64,
+}
+
+/// Job accounting over the whole run. `lost` is admitted minus delivered
+/// and must be zero: every accepted job gets exactly one outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeTraffic {
+    /// Jobs accepted by admission control.
+    pub submitted: usize,
+    /// Jobs that delivered a `Completed` outcome.
+    pub completed: usize,
+    /// Jobs that delivered a `Failed` outcome.
+    pub failed: usize,
+    /// Admitted jobs that never delivered an outcome.
+    pub lost: usize,
+    /// High-water mark of the scheduler queue.
+    pub max_queue_depth: usize,
+}
+
+/// Latency percentiles across every completed job, admission to outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeLatency {
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Worst-case latency (ms).
+    pub max_ms: f64,
+    /// End-to-end wall seconds for the whole burst.
+    pub wall_seconds: f64,
+    /// Completed jobs per wall second.
+    pub throughput_jobs_per_s: f64,
+}
+
+/// Converged-state cache effectiveness. A warm start resumes from a donor
+/// job's exported converged snapshot and must reconverge in a small
+/// fraction of the cold iteration count.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeCacheStats {
+    /// Cache lookups that found a donor snapshot.
+    pub hits: u64,
+    /// Cache lookups that found nothing.
+    pub misses: u64,
+    /// Distinct `FeSpace` discretizations materialized (shared tables).
+    pub spaces_built: usize,
+    /// Completed single-SCF jobs that ran cold.
+    pub cold_jobs: usize,
+    /// Completed single-SCF jobs that warm-started from the cache.
+    pub warm_jobs: usize,
+    /// Mean SCF iterations of the cold jobs.
+    pub cold_iterations_mean: f64,
+    /// Mean SCF iterations of the warm jobs.
+    pub warm_iterations_mean: f64,
+    /// `100 * warm_iterations_mean / cold_iterations_mean`; the acceptance
+    /// bound is 25%.
+    pub warm_over_cold_percent: f64,
+}
+
+/// Injected disruptions and how the scheduler absorbed them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeDisruptions {
+    /// Jobs submitted with a rank-kill fault plan.
+    pub injected_kills: usize,
+    /// Cluster relaunches forced by rank loss.
+    pub recoveries: u64,
+    /// Ranks permanently burned from the pool.
+    pub ranks_burned: usize,
+    /// Preemption cycles (raise token -> snapshot -> requeue -> resume).
+    pub preemptions: u64,
+}
+
+/// Energy parity between served jobs and dedicated single-job runs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeAccuracy {
+    /// Dedicated single-job reference solves (one per distinct problem).
+    pub reference_jobs: usize,
+    /// Served single-SCF jobs compared against their reference.
+    pub compared_jobs: usize,
+    /// Worst `|E_served - E_reference|` over all compared jobs (Ha).
+    pub max_abs_energy_diff_ha: f64,
+}
+
+/// The full `BENCH_serve.json` document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeBench {
+    /// Provenance note.
+    pub note: String,
+    /// Server and workload shape.
+    pub setup: ServeSetup,
+    /// Job accounting.
+    pub traffic: ServeTraffic,
+    /// Latency percentiles.
+    pub latency: ServeLatency,
+    /// Cache effectiveness.
+    pub cache: ServeCacheStats,
+    /// Kills and preemptions.
+    pub disruptions: ServeDisruptions,
+    /// Energy parity vs dedicated runs.
+    pub accuracy: ServeAccuracy,
+}
+
+impl ServeBench {
+    /// Schema + invariant check; used by the emitting binary before writing
+    /// and by CI's `--check` against the committed artifact.
+    pub fn validate(&self) -> Result<(), String> {
+        let s = &self.setup;
+        if s.pool_ranks < 2 {
+            return Err("pool must have at least two rank slots".into());
+        }
+        if s.tenants < 2 {
+            return Err("burst must exercise multi-tenant fairness".into());
+        }
+        if s.distinct_problems == 0 || s.checkpoint_every == 0 {
+            return Err("degenerate workload shape".into());
+        }
+        if !(s.timeout_seconds.is_finite() && s.timeout_seconds > 0.0) {
+            return Err("receive deadline invalid".into());
+        }
+
+        let t = &self.traffic;
+        if t.submitted < 500 {
+            return Err(format!(
+                "burst must queue at least 500 jobs, got {}",
+                t.submitted
+            ));
+        }
+        if t.lost != 0 {
+            return Err(format!("{} admitted jobs were lost", t.lost));
+        }
+        if t.failed != 0 {
+            return Err(format!("{} jobs failed", t.failed));
+        }
+        if t.completed != t.submitted {
+            return Err(format!(
+                "completed {} != submitted {}",
+                t.completed, t.submitted
+            ));
+        }
+        if t.max_queue_depth == 0 {
+            return Err("burst never actually queued".into());
+        }
+
+        let l = &self.latency;
+        for (name, v) in [("p50", l.p50_ms), ("p99", l.p99_ms), ("max", l.max_ms)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("latency {name} invalid"));
+            }
+        }
+        if l.p50_ms > l.p99_ms || l.p99_ms > l.max_ms {
+            return Err("latency percentiles are not monotone".into());
+        }
+        if !(l.wall_seconds.is_finite() && l.wall_seconds > 0.0) {
+            return Err("wall time invalid".into());
+        }
+        if !(l.throughput_jobs_per_s.is_finite() && l.throughput_jobs_per_s > 0.0) {
+            return Err("throughput invalid".into());
+        }
+
+        let c = &self.cache;
+        if c.hits == 0 || c.warm_jobs == 0 {
+            return Err("burst produced no cache hits".into());
+        }
+        if c.cold_jobs == 0 {
+            return Err("burst had no cold jobs to compare against".into());
+        }
+        if !(c.cold_iterations_mean.is_finite() && c.cold_iterations_mean > 0.0) {
+            return Err("cold iteration mean invalid".into());
+        }
+        let ratio = 100.0 * c.warm_iterations_mean / c.cold_iterations_mean;
+        if (ratio - c.warm_over_cold_percent).abs() > 1e-9 {
+            return Err("warm_over_cold_percent inconsistent with the means".into());
+        }
+        if c.warm_over_cold_percent > 25.0 {
+            return Err(format!(
+                "cache hits average {:.1}% of the cold iteration count (> 25%)",
+                c.warm_over_cold_percent
+            ));
+        }
+        if c.spaces_built == 0 {
+            return Err("no FeSpace was ever built".into());
+        }
+
+        let d = &self.disruptions;
+        if d.injected_kills == 0 {
+            return Err("burst must inject at least one rank kill".into());
+        }
+        if d.recoveries < d.injected_kills as u64 {
+            return Err("every injected kill must force a recovery".into());
+        }
+        if d.ranks_burned == 0 {
+            return Err("the killed rank was never burned from the pool".into());
+        }
+        if d.ranks_burned >= s.pool_ranks {
+            return Err("kills burned the entire pool".into());
+        }
+        if d.preemptions == 0 {
+            return Err("burst must include a preemption/resume cycle".into());
+        }
+
+        let a = &self.accuracy;
+        if a.reference_jobs == 0 || a.compared_jobs == 0 {
+            return Err("no energy-parity comparison was made".into());
+        }
+        if !a.max_abs_energy_diff_ha.is_finite() {
+            return Err("energy diff invalid".into());
+        }
+        if a.max_abs_energy_diff_ha > 1e-10 {
+            return Err(format!(
+                "served energies drift from dedicated runs by {:.3e} Ha (> 1e-10)",
+                a.max_abs_energy_diff_ha
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good() -> ServeBench {
+        ServeBench {
+            note: "test".into(),
+            setup: ServeSetup {
+                pool_ranks: 4,
+                tenants: 4,
+                distinct_problems: 8,
+                checkpoint_every: 2,
+                timeout_seconds: 1.5,
+            },
+            traffic: ServeTraffic {
+                submitted: 512,
+                completed: 512,
+                failed: 0,
+                lost: 0,
+                max_queue_depth: 480,
+            },
+            latency: ServeLatency {
+                p50_ms: 900.0,
+                p99_ms: 3200.0,
+                max_ms: 4100.0,
+                wall_seconds: 6.0,
+                throughput_jobs_per_s: 512.0 / 6.0,
+            },
+            cache: ServeCacheStats {
+                hits: 490,
+                misses: 22,
+                spaces_built: 1,
+                cold_jobs: 10,
+                warm_jobs: 490,
+                cold_iterations_mean: 12.0,
+                warm_iterations_mean: 1.5,
+                warm_over_cold_percent: 100.0 * 1.5 / 12.0,
+            },
+            disruptions: ServeDisruptions {
+                injected_kills: 1,
+                recoveries: 1,
+                ranks_burned: 1,
+                preemptions: 1,
+            },
+            accuracy: ServeAccuracy {
+                reference_jobs: 8,
+                compared_jobs: 500,
+                max_abs_energy_diff_ha: 4e-12,
+            },
+        }
+    }
+
+    #[test]
+    fn good_report_validates_and_round_trips() {
+        let r = good();
+        r.validate().unwrap();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: ServeBench = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.traffic.submitted, 512);
+    }
+
+    #[test]
+    fn validation_rejects_violations() {
+        let mut r = good();
+        r.traffic.submitted = 499;
+        r.traffic.completed = 499;
+        assert!(r.validate().is_err(), "under-500 burst must be rejected");
+
+        let mut r = good();
+        r.traffic.lost = 1;
+        assert!(r.validate().is_err(), "lost jobs must be rejected");
+
+        let mut r = good();
+        r.traffic.failed = 1;
+        assert!(r.validate().is_err());
+
+        let mut r = good();
+        r.disruptions.injected_kills = 0;
+        assert!(r.validate().is_err(), "a kill must be injected");
+
+        let mut r = good();
+        r.disruptions.preemptions = 0;
+        assert!(r.validate().is_err(), "a preemption must occur");
+
+        let mut r = good();
+        r.cache.warm_iterations_mean = 4.0;
+        r.cache.warm_over_cold_percent = 100.0 * 4.0 / 12.0;
+        assert!(r.validate().is_err(), "warm/cold over 25% must be rejected");
+
+        let mut r = good();
+        r.cache.warm_over_cold_percent += 1.0;
+        assert!(r.validate().is_err(), "inconsistent ratio must be rejected");
+
+        let mut r = good();
+        r.accuracy.max_abs_energy_diff_ha = 1e-9;
+        assert!(r.validate().is_err(), "energy drift must be rejected");
+
+        let mut r = good();
+        r.latency.p50_ms = r.latency.p99_ms + 1.0;
+        assert!(r.validate().is_err(), "non-monotone percentiles rejected");
+    }
+}

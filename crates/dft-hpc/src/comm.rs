@@ -289,11 +289,25 @@ pub const KGROUP_BAND: TagBand = TagBand {
     raw: false,
 };
 
+/// Preemption-consensus allreduce(max): `base + rank` carries each rank's
+/// local view of a control flag to root, `base` carries the agreed maximum
+/// back. A dedicated band — rather than piggybacking on
+/// [`ALLREDUCE_BAND`] — so the job server's control traffic is separable
+/// from solver reductions in fault plans and sanitizer ledgers: a per-job
+/// cluster is already its own comm namespace, and this band keeps its
+/// *control plane* disjoint from its data plane on the wire too.
+pub const PREEMPT_BAND: TagBand = TagBand {
+    name: "preempt",
+    base: (1 << 60) + 26000,
+    width: MAX_RANKS,
+    raw: false,
+};
+
 /// The complete collective tag registry. The dft-lint L003 pass statically
 /// proves these bands pairwise disjoint on the wire and contained in
 /// [`COLLECTIVE_TAGS`]; the `sanitize` feature additionally asserts at
 /// runtime that every observed collective wire tag lands in one of them.
-pub const TAG_BANDS: [TagBand; 7] = [
+pub const TAG_BANDS: [TagBand; 8] = [
     BARRIER_BAND,
     ALLREDUCE_BAND,
     BROADCAST_BAND,
@@ -301,6 +315,7 @@ pub const TAG_BANDS: [TagBand; 7] = [
     GROUP_REDUCE_BAND,
     GROUP_ASSEMBLE_BAND,
     KGROUP_BAND,
+    PREEMPT_BAND,
 ];
 
 /// The wire-tag band a logical point-to-point tag occupies after precision
@@ -905,6 +920,56 @@ impl ThreadComm {
         Ok(())
     }
 
+    /// Allreduce(max) of one small unsigned counter — the control-plane
+    /// consensus primitive behind cooperative preemption: every rank
+    /// contributes its local view of a flag/epoch and all ranks agree on
+    /// the maximum, so a signal observed by *any* rank mid-iteration
+    /// becomes a decision taken by *every* rank at the same iteration.
+    /// Values must stay below 2^53 (they ride the FP64 wire exactly);
+    /// preemption flags and iteration counters are far below that. Uses
+    /// the dedicated [`PREEMPT_BAND`].
+    pub fn allreduce_max_u64(&mut self, v: u64) -> Result<u64, CommError> {
+        // dftlint:allow(L003, reason="2^53 is the exact-f64 range bound of the payload, not a wire tag")
+        debug_assert!(v < (1 << 53), "control counter exceeds exact f64 range");
+        if self.size == 1 {
+            self.check()?;
+            return Ok(v);
+        }
+        let deadline = Instant::now() + self.timeout;
+        if self.rank == 0 {
+            let mut acc = v as f64;
+            for r in 1..self.size {
+                let contrib = self.recv_f64_deadline(
+                    r,
+                    PREEMPT_BAND.for_rank(r),
+                    WirePrecision::Fp64,
+                    deadline,
+                )?;
+                // max of non-negative integers is order-independent and
+                // exact in f64: deterministic regardless of arrival order
+                for &c in &contrib {
+                    if c > acc {
+                        acc = c;
+                    }
+                }
+            }
+            for r in 1..self.size {
+                self.send_f64(r, PREEMPT_BAND.tag(), &[acc], WirePrecision::Fp64)?;
+            }
+            Ok(acc as u64)
+        } else {
+            self.send_f64(
+                0,
+                PREEMPT_BAND.for_rank(self.rank),
+                &[v as f64],
+                WirePrecision::Fp64,
+            )?;
+            let red =
+                self.recv_f64_deadline(0, PREEMPT_BAND.tag(), WirePrecision::Fp64, deadline)?;
+            Ok(red.first().copied().unwrap_or(v as f64) as u64)
+        }
+    }
+
     /// Broadcast from rank 0, with selectable wire precision (rank 0's data
     /// is left untouched; FP32 wire rounds what the other ranks receive).
     /// Each of the `size - 1` hops carries the full payload once.
@@ -1196,6 +1261,24 @@ mod tests {
         for r in results {
             assert_eq!(r, vec![10.0, 5.0]);
         }
+    }
+
+    /// The preemption-consensus primitive: every rank learns the maximum
+    /// contributed value, including a flag raised by a single rank.
+    #[test]
+    fn allreduce_max_agrees_on_the_maximum() {
+        let (results, _) = run_cluster(5, |c| {
+            let flag = u64::from(c.rank() == 3) * 7;
+            c.allreduce_max_u64(flag).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, 7);
+        }
+        // all-zero flags stay zero, and a single rank degenerates cleanly
+        let (results, _) = run_cluster(4, |c| c.allreduce_max_u64(0).unwrap());
+        assert!(results.iter().all(|&r| r == 0));
+        let (results, _) = run_cluster(1, |c| c.allreduce_max_u64(9).unwrap());
+        assert_eq!(results, vec![9]);
     }
 
     #[test]

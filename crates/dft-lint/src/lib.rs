@@ -9,7 +9,7 @@
 //!
 //! | ID   | Invariant |
 //! |------|-----------|
-//! | L001 | no `unwrap`/`expect`/`panic!`/`unreachable!` in non-test code of `dft-hpc`/`dft-parallel` (failures must surface as `CommError`/`ScfError`) |
+//! | L001 | no `unwrap`/`expect`/`panic!`/`unreachable!` in non-test code of `dft-hpc`/`dft-parallel`/`dft-serve` (failures must surface as `CommError`/`ScfError`/`JobStatus::Failed`) |
 //! | L002 | no raw blocking receive (`recv_bytes`/`recv_f64`) outside `comm.rs` internals — use the `_deadline` or `try_` variants |
 //! | L003 | every wire tag in `comm.rs` comes from the declared `TagBand` registry, and the declared bands are statically proven pairwise disjoint, bounded by `MAX_RANKS`, and inside `COLLECTIVE_TAGS` |
 //! | L004 | determinism: no `==`/`!=` on float expressions (workspace-wide), no `HashMap`/`HashSet` in the deterministic reduction crates `dft-hpc`/`dft-parallel` |
@@ -75,7 +75,7 @@ pub struct FileCtx {
 
 /// Crates whose non-test code must stay panic-free (L001) and
 /// `HashMap`-free (L004): the fault-tolerant distributed stack.
-const FAULT_TOLERANT_CRATES: &[&str] = &["dft-hpc", "dft-parallel"];
+const FAULT_TOLERANT_CRATES: &[&str] = &["dft-hpc", "dft-parallel", "dft-serve"];
 
 /// All known lint IDs (for `allow` validation).
 const LINT_IDS: &[&str] = &["L001", "L002", "L003", "L004", "L005"];

@@ -11,6 +11,9 @@
 //! * [`defects`] — pyramidal ⟨c+a⟩ **screw dislocations** (Volterra
 //!   fields), **reflection twin boundaries**, and random Y **solutes** at
 //!   1 at.% (the DislocMgY / TwinDislocMgY benchmark family);
+//! * [`requests`] — request-side generators deriving whole job-server
+//!   burst families (strain scans, solute substitutions, jitter
+//!   ensembles) from one base structure;
 //! * [`structure`] — the shared [`structure::Structure`] type.
 //!
 //! All generators are deterministic given their seeds.
@@ -22,9 +25,11 @@
 pub mod defects;
 pub mod mg;
 pub mod quasicrystal;
+pub mod requests;
 pub mod structure;
 
 pub use defects::{random_solutes, reflection_twin_z, screw_dislocation_z};
 pub use mg::hcp_supercell;
 pub use quasicrystal::{icosahedral_quasicrystal, nanoparticle, QcParams};
+pub use requests::{jitter_ensemble, strain_scan, substitution_scan};
 pub use structure::Structure;

@@ -73,6 +73,20 @@ pub fn iter_dir(root: &Path, iteration: usize) -> PathBuf {
     root.join(format!("iter-{iteration:06}"))
 }
 
+/// Job-scoped snapshot namespace under a shared checkpoint root.
+///
+/// [`finalize`]'s keep-last-2 pruning assumes one writer per directory: two
+/// jobs snapshotting into the *same* `checkpoint_dir` would prune each
+/// other's `COMPLETE` snapshots (job A's `finalize` deletes job B's older
+/// `iter-*` directories and vice versa). Multi-job drivers — the `dft-serve`
+/// scheduler foremost — must therefore give every job its own subdirectory;
+/// this helper is the canonical layout (`<root>/job-<id>/`). Pruning walks
+/// only `iter-*` entries, so sibling job directories under one root are
+/// never touched by another job's `finalize`.
+pub fn job_dir(root: &Path, job_id: u64) -> PathBuf {
+    root.join(format!("job-{job_id:08}"))
+}
+
 fn rank_file(root: &Path, iteration: usize, rank: usize) -> PathBuf {
     iter_dir(root, iteration).join(format!("rank-{rank}.ckpt"))
 }
@@ -688,5 +702,55 @@ mod tests {
         // both survivors still load
         assert!(load::<f64>(&root, 5).is_ok());
         assert!(load::<f64>(&root, 7).is_ok());
+    }
+
+    /// Two jobs snapshotting under one shared root via [`job_dir`] never
+    /// prune each other: job A's `finalize` walks only A's own `iter-*`
+    /// entries, so B's COMPLETE snapshots survive A's keep-last-2 pruning
+    /// (and vice versa). Without the per-job namespace both jobs would write
+    /// into the same directory and each `finalize` would delete the other's
+    /// older snapshots.
+    #[test]
+    fn jobs_under_shared_root_do_not_prune_each_other() {
+        let root = tmp_root("jobdir");
+        let dir_a = job_dir(&root, 1);
+        let dir_b = job_dir(&root, 2);
+        assert_ne!(dir_a, dir_b);
+        let owned: Vec<u32> = (0..2).collect();
+        let psi = Matrix::<f64>::from_fn(2, 1, |i, _| i as f64);
+
+        // job A writes many snapshots, pruning down to its last two
+        for it in [1usize, 2, 3, 4] {
+            let state = demo_state(it, 2);
+            write_rank(&dir_a, 0, 1, 2, &state, &owned, std::slice::from_ref(&psi)).unwrap();
+            finalize(&dir_a, it, 2).unwrap();
+        }
+        // job B, interleaved in time, has exactly one precious snapshot
+        let state_b = demo_state(9, 2);
+        write_rank(
+            &dir_b,
+            0,
+            1,
+            2,
+            &state_b,
+            &owned,
+            std::slice::from_ref(&psi),
+        )
+        .unwrap();
+        finalize(&dir_b, 9, 2).unwrap();
+        // ... and A keeps churning afterwards
+        for it in [5usize, 6] {
+            let state = demo_state(it, 2);
+            write_rank(&dir_a, 0, 1, 2, &state, &owned, std::slice::from_ref(&psi)).unwrap();
+            finalize(&dir_a, it, 2).unwrap();
+        }
+
+        // A pruned its own history as usual ...
+        assert_eq!(latest_complete(&dir_a), Some(6));
+        assert!(!iter_dir(&dir_a, 4).exists());
+        // ... but B's snapshot is untouched and still loads bit-exactly
+        assert_eq!(latest_complete(&dir_b), Some(9));
+        let loaded = load::<f64>(&dir_b, 9).unwrap();
+        assert_eq!(loaded.state, state_b);
     }
 }

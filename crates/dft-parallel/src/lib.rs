@@ -49,4 +49,4 @@ pub use operator::{
 };
 pub use recover::{scf_with_recovery, RecoveryReport};
 pub use reduce::{ClusterReducer, CommVolume, GridReducer};
-pub use scf::{distributed_scf, DistScfConfig, DistScfResult, ScfError};
+pub use scf::{distributed_scf, DistScfConfig, DistScfResult, PreemptToken, ScfError};

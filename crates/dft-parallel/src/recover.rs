@@ -101,8 +101,14 @@ pub fn scf_with_recovery<X: XcFunctional + Sync>(
         if first_failure.is_none() {
             first_failure = Some(err.clone());
         }
-        // a broken snapshot store stays broken across relaunches
-        if matches!(err, ScfError::Checkpoint { .. }) {
+        // a broken snapshot store stays broken across relaunches; a
+        // cooperative preemption is a scheduling decision, not a failure —
+        // the job scheduler resumes the run itself, so relaunching here
+        // would override it
+        if matches!(
+            err,
+            ScfError::Checkpoint { .. } | ScfError::Preempted { .. }
+        ) {
             return Err(err);
         }
         // survivors time out without a Killed cause when the dead rank never

@@ -65,6 +65,17 @@ pub enum ScfError {
         /// Zero-based SCF iteration of the failed snapshot.
         iteration: usize,
     },
+    /// The run was cooperatively preempted: a [`PreemptToken`] was raised,
+    /// every rank agreed on it at the top of the given iteration, and a
+    /// complete restart snapshot was written before unwinding (when a
+    /// `checkpoint_dir` is configured). Not a failure — the job scheduler
+    /// resumes the run later with `restart`, possibly at a different rank
+    /// count or grid shape.
+    Preempted {
+        /// Zero-based SCF iteration the snapshot captures; the resumed run
+        /// continues from here.
+        iteration: usize,
+    },
 }
 
 impl std::fmt::Display for ScfError {
@@ -78,11 +89,49 @@ impl std::fmt::Display for ScfError {
             ScfError::Checkpoint { iteration } => {
                 write!(f, "checkpoint I/O failed at SCF iteration {iteration}")
             }
+            ScfError::Preempted { iteration } => {
+                write!(
+                    f,
+                    "preempted at SCF iteration {iteration} (snapshot written)"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ScfError {}
+
+/// A cooperative preemption handle shared between a job scheduler and the
+/// ranks of one distributed SCF. Raising the token asks the run to stop at
+/// the next iteration boundary: the ranks reach consensus on the flag via
+/// [`ThreadComm::allreduce_max_u64`] (so a flag observed by any rank
+/// becomes a decision taken by all), write a complete restart snapshot,
+/// and unwind with [`ScfError::Preempted`]. Cloning shares the flag.
+#[derive(Clone, Debug, Default)]
+pub struct PreemptToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl PreemptToken {
+    /// A fresh, unraised token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ask the run holding this token to checkpoint and stop.
+    pub fn request(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Whether preemption has been requested (local view; the SCF loop
+    /// turns this into a cluster-wide consensus before acting).
+    pub fn is_requested(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Lower the flag (e.g. before resuming the preempted job).
+    pub fn clear(&self) {
+        self.0.store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+}
 
 /// Distributed SCF configuration: the serial knobs plus the wire precision
 /// of the Chebyshev-filter ghost exchange (the paper's Sec. 5.4.2 trick —
@@ -117,6 +166,27 @@ pub struct DistScfConfig {
     /// (Sec. 5.4.2). Only meaningful with `grid`; triggers the FP64
     /// orthonormality cleanup pass after CholGS.
     pub subspace_fp32: bool,
+    /// Read-side override for `restart`: resume from the newest complete
+    /// snapshot in *this* directory instead of `checkpoint_dir`. This is
+    /// the warm-start path of the job server's converged-state cache —
+    /// restart reads the cache entry while periodic/preemption snapshots
+    /// keep writing to the job's own `checkpoint_dir`. Because a warm
+    /// start is an optimization hint rather than a correctness
+    /// requirement, an unreadable `restart_from` snapshot degrades to a
+    /// fresh start (identically on every rank) instead of failing the run.
+    pub restart_from: Option<PathBuf>,
+    /// After convergence, export a complete warm-start snapshot of the
+    /// *converged* state (final density, mixer history, filter windows,
+    /// wavefunctions) into this directory, labeled iteration 1 so a resume
+    /// skips the first-iteration multi-pass filtering. This is what the
+    /// job server publishes into its converged-state cache.
+    pub final_state_dir: Option<PathBuf>,
+    /// Cooperative preemption handle. When the token is raised, the ranks
+    /// agree on it at the next iteration top, snapshot into
+    /// `checkpoint_dir` (if configured) and unwind with
+    /// [`ScfError::Preempted`]. `None` — the default — adds no
+    /// communication and keeps the schedule bit-identical to earlier PRs.
+    pub preempt: Option<PreemptToken>,
 }
 
 impl Default for DistScfConfig {
@@ -129,7 +199,80 @@ impl Default for DistScfConfig {
             grid: None,
             overlap: false,
             subspace_fp32: false,
+            restart_from: None,
+            final_state_dir: None,
+            preempt: None,
         }
+    }
+}
+
+/// Builder-style constructors, so server code and tests compose exactly
+/// the knobs they care about instead of repeating full-struct boilerplate.
+impl DistScfConfig {
+    /// A config wrapping the given serial knobs, everything else default.
+    pub fn new(base: ScfConfig) -> Self {
+        Self {
+            base,
+            ..Self::default()
+        }
+    }
+
+    /// Set the boundary-exchange wire precision.
+    pub fn with_wire(mut self, wire: WirePrecision) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// Enable snapshots into `dir` every `every` SCF iterations.
+    pub fn with_checkpoints(mut self, dir: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self.base.checkpoint_every = every;
+        self
+    }
+
+    /// Resume from the newest complete snapshot (in `checkpoint_dir`, or
+    /// `restart_from` when set).
+    pub fn with_restart(mut self) -> Self {
+        self.restart = true;
+        self
+    }
+
+    /// Warm-start: resume from the newest complete snapshot in `dir`
+    /// (read-only; snapshots keep writing to `checkpoint_dir`).
+    pub fn with_restart_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.restart = true;
+        self.restart_from = Some(dir.into());
+        self
+    }
+
+    /// Export the converged state into `dir` after the run.
+    pub fn with_final_state(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.final_state_dir = Some(dir.into());
+        self
+    }
+
+    /// Run on the given process-grid shape.
+    pub fn with_grid(mut self, shape: GridShape) -> Self {
+        self.grid = Some(shape);
+        self
+    }
+
+    /// Enable cross-iteration ghost overlap (pipelined Chebyshev filter).
+    pub fn with_overlap(mut self) -> Self {
+        self.overlap = true;
+        self
+    }
+
+    /// Ship off-band-diagonal subspace reduction rows in FP32.
+    pub fn with_subspace_fp32(mut self) -> Self {
+        self.subspace_fp32 = true;
+        self
+    }
+
+    /// Attach a cooperative preemption token.
+    pub fn with_preempt(mut self, token: PreemptToken) -> Self {
+        self.preempt = Some(token);
+        self
     }
 }
 
@@ -358,20 +501,54 @@ fn dist_scf_impl<T: ScalarExt>(
     let kweights: Vec<f64> = kpts.iter().map(|k| k.weight).collect();
 
     // ---- restart from the newest complete snapshot, if asked ----------
+    // With both a `restart_from` warm-start hint and the job's own
+    // `checkpoint_dir` available, whichever holds the *newest* complete
+    // snapshot wins (own progress wins ties): a fresh submission reads the
+    // cache entry, while a rank-loss relaunch that has already progressed
+    // past it resumes from its own later checkpoints instead of repeating
+    // work. A warm-start snapshot that fails to load or does not match
+    // this run's dimensions degrades to a cold start — every rank reads
+    // the same bytes, so the fallback decision is identical cluster-wide;
+    // a `checkpoint_dir` restart failure stays fatal, since recovery
+    // correctness depends on it.
     let mut start_iter = 0;
     let mut resumed_from = None;
     if cfg.restart {
-        if let Some(dir) = &cfg.checkpoint_dir {
-            if let Some(it) = checkpoint::latest_complete(dir) {
-                let loaded = checkpoint::load::<T>(dir, it)
-                    .map_err(|_| ScfError::Checkpoint { iteration: it })?;
-                if loaded.state.rho_in.len() != space.nnodes()
-                    || loaded.psi_full.len() != kpts.len()
-                    || loaded.psi_full[0].nrows() != nd
-                    || loaded.psi_full[0].ncols() != base.n_states
-                {
-                    return Err(ScfError::Checkpoint { iteration: it });
+        let warm_newest = cfg
+            .restart_from
+            .as_ref()
+            .and_then(|d| checkpoint::latest_complete(d).map(|it| (d, it)));
+        let own_newest = cfg
+            .checkpoint_dir
+            .as_ref()
+            .and_then(|d| checkpoint::latest_complete(d).map(|it| (d, it)));
+        let chosen = match (warm_newest, own_newest) {
+            (Some((wd, wi)), Some((od, oi))) => {
+                if wi > oi {
+                    Some((wd, wi, true))
+                } else {
+                    Some((od, oi, false))
                 }
+            }
+            (Some((wd, wi)), None) => Some((wd, wi, true)),
+            (None, Some((od, oi))) => Some((od, oi, false)),
+            (None, None) => None,
+        };
+        if let Some((dir, it, warm_hint)) = chosen {
+            let loaded = match checkpoint::load::<T>(dir, it) {
+                Ok(l)
+                    if l.state.rho_in.len() == space.nnodes()
+                        && l.psi_full.len() == kpts.len()
+                        && l.psi_full[0].nrows() == nd
+                        && l.psi_full[0].ncols() == base.n_states
+                        && l.state.filter_windows.len() == kpts.len() =>
+                {
+                    Some(l)
+                }
+                _ if warm_hint => None,
+                _ => return Err(ScfError::Checkpoint { iteration: it }),
+            };
+            if let Some(loaded) = loaded {
                 rho_in = loaded.state.rho_in.clone();
                 mu = loaded.state.mu;
                 mixer.restore_history(loaded.state.mixer_history.clone());
@@ -406,12 +583,50 @@ fn dist_scf_impl<T: ScalarExt>(
             p.begin_iteration();
         }
 
+        // ---- cooperative preemption consensus --------------------------
+        // One tiny allreduce(max) per iteration, present only when a token
+        // is attached (the default schedule stays bit-identical): a raise
+        // observed by any rank becomes a cluster-wide decision at this
+        // iteration, so every rank snapshots the same state and unwinds
+        // together.
+        if let Some(token) = &cfg.preempt {
+            let agreed = shared
+                .with(|c| c.allreduce_max_u64(u64::from(token.is_requested())))
+                .map_err(|e| lost(iter, e))?;
+            if agreed != 0 {
+                if let Some(dir) = &cfg.checkpoint_dir {
+                    let state = ReplicatedScfState {
+                        iteration: iter,
+                        rho_in: rho_in.clone(),
+                        mu,
+                        mixer_history: mixer.history().to_vec(),
+                        filter_windows: filter_window.clone(),
+                        residual_history: residual_history.clone(),
+                    };
+                    snapshot_cluster(
+                        dir,
+                        &state,
+                        &shared,
+                        &pgrid,
+                        dec,
+                        &psi,
+                        k0,
+                        kpts.len(),
+                        base.n_states,
+                        nd,
+                        shape,
+                        profile,
+                    )?;
+                }
+                return Err(ScfError::Preempted { iteration: iter });
+            }
+        }
+
         // ---- checkpoint the top-of-iteration state ---------------------
         // Written *before* the epoch advance, so a fault-injected "kill at
         // iteration K" leaves iteration K's snapshot complete.
         if let Some(dir) = &cfg.checkpoint_dir {
             if base.checkpoint_every > 0 && iter > start_iter && iter % base.checkpoint_every == 0 {
-                let mut scope = PhaseScope::new(profile, Phase::Ck);
                 let state = ReplicatedScfState {
                     iteration: iter,
                     rho_in: rho_in.clone(),
@@ -420,37 +635,20 @@ fn dist_scf_impl<T: ScalarExt>(
                     filter_windows: filter_window.clone(),
                     residual_history: residual_history.clone(),
                 };
-                // band replicas hold identical psi columns: only the band-0
-                // rank of each (domain, k-group) slot writes wavefunction
-                // blocks, tagged with the global k indices they cover
-                let my_ks: Vec<usize> = (k0..k1).collect();
-                let (ck_ks, ck_psi): (&[usize], &[Matrix<T>]) = if pgrid.band == 0 {
-                    (&my_ks, &psi)
-                } else {
-                    (&[], &[])
-                };
-                let bytes = checkpoint::write_rank_grid(
+                snapshot_cluster(
                     dir,
-                    rank,
-                    nranks,
-                    nd,
                     &state,
-                    &dec.owned,
-                    ck_psi,
-                    ck_ks,
+                    &shared,
+                    &pgrid,
+                    dec,
+                    &psi,
+                    k0,
                     kpts.len(),
                     base.n_states,
+                    nd,
                     shape,
-                )
-                .map_err(|_| ScfError::Checkpoint { iteration: iter })?;
-                scope.add_bytes(bytes);
-                // every shard must land before the snapshot is declared
-                // complete; the barrier doubles as the failure detector
-                shared.with(|c| c.barrier()).map_err(|e| lost(iter, e))?;
-                if rank == 0 {
-                    checkpoint::finalize(dir, iter, 2)
-                        .map_err(|_| ScfError::Checkpoint { iteration: iter })?;
-                }
+                    profile,
+                )?;
             }
         }
 
@@ -714,6 +912,38 @@ fn dist_scf_impl<T: ScalarExt>(
         }
     }
 
+    // ---- converged-state export (the cache's write side) ---------------
+    // Labeled iteration 1 so a warm resume skips the first-iteration
+    // multi-pass filtering: the resumed run starts from the converged
+    // density, mixer history, and subspace, and typically reconverges in a
+    // small handful of iterations instead of a full cold SCF.
+    if converged {
+        if let Some(dir) = &cfg.final_state_dir {
+            let state = ReplicatedScfState {
+                iteration: 1,
+                rho_in: rho_out.clone(),
+                mu,
+                mixer_history: mixer.history().to_vec(),
+                filter_windows: filter_window.clone(),
+                residual_history: Vec::new(),
+            };
+            snapshot_cluster(
+                dir,
+                &state,
+                &shared,
+                &pgrid,
+                dec,
+                &psi,
+                k0,
+                kpts.len(),
+                base.n_states,
+                nd,
+                shape,
+                profile,
+            )?;
+        }
+    }
+
     let comm_vol = comm_start.delta(&CommVolume::snapshot(&shared));
     Ok(DistScfResult {
         rank,
@@ -731,6 +961,56 @@ fn dist_scf_impl<T: ScalarExt>(
         profile: profile_store.map(|p| p.finish(None)),
         comm: comm_vol,
     })
+}
+
+/// Write one complete cluster snapshot of `state` plus this rank's psi
+/// shard into `dir` — shard write, cluster barrier (which doubles as the
+/// failure detector), then a rank-0 `COMPLETE` marker with keep-last-2
+/// pruning. Shared by the periodic cadence, cooperative preemption, and
+/// the converged-state export. Band replicas hold identical psi columns,
+/// so only the band-0 rank of each (domain, k-group) slot writes
+/// wavefunction blocks, tagged with the global k indices they cover.
+#[allow(clippy::too_many_arguments)]
+fn snapshot_cluster<T: ScalarExt>(
+    dir: &std::path::Path,
+    state: &ReplicatedScfState,
+    shared: &SharedComm<'_>,
+    pgrid: &ProcessGrid,
+    dec: &Decomposition,
+    psi: &[Matrix<T>],
+    k0: usize,
+    nk: usize,
+    n_states: usize,
+    nd: usize,
+    shape: GridShape,
+    profile: Option<&Profile>,
+) -> Result<(), ScfError> {
+    let (rank, nranks) = shared.with(|c| (c.rank(), c.size()));
+    let iter = state.iteration;
+    let mut scope = PhaseScope::new(profile, Phase::Ck);
+    let my_ks: Vec<usize> = (k0..k0 + psi.len()).collect();
+    let (ck_ks, ck_psi): (&[usize], &[Matrix<T>]) = if pgrid.band == 0 {
+        (&my_ks, psi)
+    } else {
+        (&[], &[])
+    };
+    let bytes = checkpoint::write_rank_grid(
+        dir, rank, nranks, nd, state, &dec.owned, ck_psi, ck_ks, nk, n_states, shape,
+    )
+    .map_err(|_| ScfError::Checkpoint { iteration: iter })?;
+    scope.add_bytes(bytes);
+    // every shard must land before the snapshot is declared complete
+    shared
+        .with(|c| c.barrier())
+        .map_err(|cause| ScfError::RankLost {
+            rank,
+            iteration: iter,
+            cause,
+        })?;
+    if rank == 0 {
+        checkpoint::finalize(dir, iter, 2).map_err(|_| ScfError::Checkpoint { iteration: iter })?;
+    }
+    Ok(())
 }
 
 /// A `Decomposition` accessor for callers that want the sharding of a

@@ -167,11 +167,7 @@ fn distributed_scf_matches_serial_energy() {
     let cfg = parity_cfg();
     let r_ser = scf(&space, &sys, &Lda, &cfg, &[KPoint::gamma()]);
     assert!(r_ser.converged);
-    let dcfg = DistScfConfig {
-        base: cfg,
-        wire: WirePrecision::Fp64,
-        ..DistScfConfig::default()
-    };
+    let dcfg = DistScfConfig::new(cfg).with_wire(WirePrecision::Fp64);
     for nranks in [2, 4] {
         let (results, _) = run_cluster(nranks, |comm| {
             distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()]).expect("scf")
@@ -201,11 +197,7 @@ fn distributed_scf_matches_serial_energy() {
 #[test]
 fn identical_runs_are_bit_identical_at_four_ranks() {
     let (space, sys) = parity_system();
-    let dcfg = DistScfConfig {
-        base: parity_cfg(),
-        wire: WirePrecision::Fp64,
-        ..DistScfConfig::default()
-    };
+    let dcfg = DistScfConfig::new(parity_cfg()).with_wire(WirePrecision::Fp64);
     let run = || {
         let (results, _) = run_cluster(4, |comm| {
             distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()]).expect("scf")
@@ -234,11 +226,7 @@ fn fp32_wire_matches_fp64_energy_and_halves_boundary_bytes() {
     let mut volumes = Vec::new();
     let mut energies = Vec::new();
     for wire in [WirePrecision::Fp64, WirePrecision::Fp32] {
-        let dcfg = DistScfConfig {
-            base: base.clone(),
-            wire,
-            ..DistScfConfig::default()
-        };
+        let dcfg = DistScfConfig::new(base.clone()).with_wire(wire);
         let (results, stats) = run_cluster(2, |comm| {
             distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()]).expect("scf")
         });

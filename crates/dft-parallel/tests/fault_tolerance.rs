@@ -92,10 +92,7 @@ fn assert_all_lost(
 #[test]
 fn kill_mid_chebyshev_filter_drains_cleanly() {
     let (space, sys) = parity_system();
-    let dcfg = DistScfConfig {
-        base: parity_cfg(),
-        ..DistScfConfig::default()
-    };
+    let dcfg = DistScfConfig::new(parity_cfg());
     let opts = ClusterOptions {
         timeout: Duration::from_secs(2),
         faults: std::sync::Arc::new(FaultPlan::kill_on_send(1, 2, ghost_tag_band(), 0)),
@@ -116,10 +113,7 @@ fn kill_mid_chebyshev_filter_drains_cleanly() {
 #[test]
 fn kill_mid_allreduce_drains_cleanly() {
     let (space, sys) = parity_system();
-    let dcfg = DistScfConfig {
-        base: parity_cfg(),
-        ..DistScfConfig::default()
-    };
+    let dcfg = DistScfConfig::new(parity_cfg());
     let opts = ClusterOptions {
         timeout: Duration::from_secs(2),
         faults: std::sync::Arc::new(FaultPlan::kill_on_send(2, 2, COLLECTIVE_TAGS, 1)),
@@ -150,17 +144,14 @@ fn scf_with_empty_ranks_matches_fewer_rank_energy() {
         kind: AtomKind::Pseudo { z: 2.0, r_c: 0.6 },
         pos: [4.0, 1.0, 1.0],
     }]);
-    let dcfg = DistScfConfig {
-        base: ScfConfig {
-            n_states: 3,
-            kt: 0.02,
-            tol: 1e-7,
-            max_iter: 80,
-            cheb_degree: 20,
-            ..ScfConfig::default()
-        },
-        ..DistScfConfig::default()
-    };
+    let dcfg = DistScfConfig::new(ScfConfig {
+        n_states: 3,
+        kt: 0.02,
+        tol: 1e-7,
+        max_iter: 80,
+        cheb_degree: 20,
+        ..ScfConfig::default()
+    });
     let energy_at = |nranks: usize| {
         let (results, _) = run_cluster(nranks, |comm| {
             distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()]).expect("scf")
@@ -186,10 +177,7 @@ fn resume_at_same_rank_count_is_bit_identical() {
     let dir = fresh_dir("resume");
 
     // uninterrupted reference (no checkpointing)
-    let dcfg_ref = DistScfConfig {
-        base: parity_cfg(),
-        ..DistScfConfig::default()
-    };
+    let dcfg_ref = DistScfConfig::new(parity_cfg());
     let (reference, _) = run_cluster(4, |comm| {
         distributed_scf(comm, &space, &sys, &Lda, &dcfg_ref, &[KPoint::gamma()]).expect("scf")
     });
@@ -197,27 +185,17 @@ fn resume_at_same_rank_count_is_bit_identical() {
 
     // truncated run: snapshots every 2 iterations, stopped after 3
     let mut base = parity_cfg();
-    base.checkpoint_every = 2;
     base.max_iter = 3;
-    let dcfg_cut = DistScfConfig {
-        base,
-        checkpoint_dir: Some(dir.clone()),
-        ..DistScfConfig::default()
-    };
+    let dcfg_cut = DistScfConfig::new(base).with_checkpoints(dir.clone(), 2);
     let (cut, _) = run_cluster(4, |comm| {
         distributed_scf(comm, &space, &sys, &Lda, &dcfg_cut, &[KPoint::gamma()]).expect("scf")
     });
     assert!(!cut[0].converged, "3 iterations must not converge");
 
     // resume to completion
-    let mut base = parity_cfg();
-    base.checkpoint_every = 2;
-    let dcfg_resume = DistScfConfig {
-        base,
-        checkpoint_dir: Some(dir.clone()),
-        restart: true,
-        ..DistScfConfig::default()
-    };
+    let dcfg_resume = DistScfConfig::new(parity_cfg())
+        .with_checkpoints(dir.clone(), 2)
+        .with_restart();
     let (resumed, _) = run_cluster(4, |comm| {
         distributed_scf(comm, &space, &sys, &Lda, &dcfg_resume, &[KPoint::gamma()]).expect("scf")
     });
@@ -248,10 +226,7 @@ fn killed_rank_recovery_reconverges_to_uninterrupted_energy() {
     let dir = fresh_dir("recover");
 
     // uninterrupted 4-rank reference
-    let dcfg_ref = DistScfConfig {
-        base: parity_cfg(),
-        ..DistScfConfig::default()
-    };
+    let dcfg_ref = DistScfConfig::new(parity_cfg());
     let (reference, _) = run_cluster(4, |comm| {
         distributed_scf(comm, &space, &sys, &Lda, &dcfg_ref, &[KPoint::gamma()]).expect("scf")
     });
@@ -261,13 +236,7 @@ fn killed_rank_recovery_reconverges_to_uninterrupted_energy() {
     // faulted run: kill rank 2 at its 3rd epoch advance (SCF iteration 3,
     // 1-based); snapshots every 2 iterations land a complete checkpoint at
     // iteration 2 just before the kill fires
-    let mut base = parity_cfg();
-    base.checkpoint_every = 2;
-    let dcfg = DistScfConfig {
-        base,
-        checkpoint_dir: Some(dir.clone()),
-        ..DistScfConfig::default()
-    };
+    let dcfg = DistScfConfig::new(parity_cfg()).with_checkpoints(dir.clone(), 2);
     let opts = ClusterOptions {
         timeout: Duration::from_secs(2),
         faults: std::sync::Arc::new(FaultPlan::kill_at_epoch(2, 3)),

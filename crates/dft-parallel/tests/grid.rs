@@ -65,11 +65,7 @@ fn band_grid_energies_match_serial_oracle() {
     let r_ser = scf(&space, &sys, &Lda, &cfg, &[KPoint::gamma()]);
     assert!(r_ser.converged);
     for shape in [GridShape::new(4, 1, 1), GridShape::new(2, 2, 1)] {
-        let dcfg = DistScfConfig {
-            base: cfg.clone(),
-            grid: Some(shape),
-            ..DistScfConfig::default()
-        };
+        let dcfg = DistScfConfig::new(cfg.clone()).with_grid(shape);
         let results = run_grid(&dcfg, shape.nranks(), &[KPoint::gamma()]);
         for r in &results {
             assert!(r.converged, "rank {} on {shape} did not converge", r.rank);
@@ -105,11 +101,7 @@ fn three_axis_grid_matches_serial_two_kpoint_oracle() {
     assert!(r_ser.converged);
     let mut energies = Vec::new();
     for shape in [GridShape::new(8, 1, 1), GridShape::new(2, 2, 2)] {
-        let dcfg = DistScfConfig {
-            base: cfg.clone(),
-            grid: Some(shape),
-            ..DistScfConfig::default()
-        };
+        let dcfg = DistScfConfig::new(cfg.clone()).with_grid(shape);
         let results = run_grid(&dcfg, 8, &kpts);
         for r in &results {
             assert!(r.converged, "rank {} on {shape} did not converge", r.rank);
@@ -137,15 +129,8 @@ fn three_axis_grid_matches_serial_two_kpoint_oracle() {
 #[test]
 fn slab_shaped_grid_is_bit_identical_to_1d_path() {
     let cfg = parity_cfg();
-    let d_1d = DistScfConfig {
-        base: cfg.clone(),
-        ..DistScfConfig::default()
-    };
-    let d_grid = DistScfConfig {
-        base: cfg,
-        grid: Some(GridShape::new(4, 1, 1)),
-        ..DistScfConfig::default()
-    };
+    let d_1d = DistScfConfig::new(cfg.clone());
+    let d_grid = DistScfConfig::new(cfg).with_grid(GridShape::new(4, 1, 1));
     let a = run_grid(&d_1d, 4, &[KPoint::gamma()]);
     let b = run_grid(&d_grid, 4, &[KPoint::gamma()]);
     for (ra, rb) in a.iter().zip(b.iter()) {
@@ -167,11 +152,13 @@ fn slab_shaped_grid_is_bit_identical_to_1d_path() {
 fn overlap_is_bit_identical_on_and_off() {
     let cfg = parity_cfg();
     for grid in [None, Some(GridShape::new(2, 2, 1))] {
-        let make = |overlap: bool| DistScfConfig {
-            base: cfg.clone(),
-            grid,
-            overlap,
-            ..DistScfConfig::default()
+        let make = |overlap: bool| {
+            let mut d = DistScfConfig::new(cfg.clone());
+            d.grid = grid;
+            if overlap {
+                d = d.with_overlap();
+            }
+            d
         };
         let off = run_grid(&make(false), 4, &[KPoint::gamma()]);
         let on = run_grid(&make(true), 4, &[KPoint::gamma()]);
@@ -198,12 +185,10 @@ fn subspace_fp32_energy_within_tolerance_and_moves_fp32_bytes() {
     let mut energies = Vec::new();
     let mut fp32_bytes = Vec::new();
     for subspace_fp32 in [false, true] {
-        let dcfg = DistScfConfig {
-            base: cfg.clone(),
-            grid: Some(GridShape::new(2, 2, 1)),
-            subspace_fp32,
-            ..DistScfConfig::default()
-        };
+        let mut dcfg = DistScfConfig::new(cfg.clone()).with_grid(GridShape::new(2, 2, 1));
+        if subspace_fp32 {
+            dcfg = dcfg.with_subspace_fp32();
+        }
         let (results, stats) = run_cluster(4, |comm| {
             distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()]).expect("scf")
         });
@@ -245,35 +230,23 @@ fn restart_reshards_8x1_snapshot_onto_4x2_grid() {
     };
 
     // uninterrupted 8x1 reference
-    let dcfg_ref = DistScfConfig {
-        base: parity_cfg(),
-        grid: Some(GridShape::new(8, 1, 1)),
-        ..DistScfConfig::default()
-    };
+    let dcfg_ref = DistScfConfig::new(parity_cfg()).with_grid(GridShape::new(8, 1, 1));
     let reference = run_grid(&dcfg_ref, 8, &[KPoint::gamma()]);
     assert!(reference[0].converged);
 
     // truncated 8x1 run: snapshots every 2 iterations, stopped after 3
     let mut base = parity_cfg();
-    base.checkpoint_every = 2;
     base.max_iter = 3;
-    let dcfg_cut = DistScfConfig {
-        base,
-        grid: Some(GridShape::new(8, 1, 1)),
-        checkpoint_dir: Some(dir.clone()),
-        ..DistScfConfig::default()
-    };
+    let dcfg_cut = DistScfConfig::new(base)
+        .with_grid(GridShape::new(8, 1, 1))
+        .with_checkpoints(dir.clone(), 2);
     let cut = run_grid(&dcfg_cut, 8, &[KPoint::gamma()]);
     assert!(!cut[0].converged, "3 iterations must not converge");
 
     // resume the snapshot on a different grid shape
-    let dcfg_resume = DistScfConfig {
-        base: parity_cfg(),
-        grid: Some(GridShape::new(4, 2, 1)),
-        checkpoint_dir: Some(dir.clone()),
-        restart: true,
-        ..DistScfConfig::default()
-    };
+    let dcfg_resume = DistScfConfig::new(parity_cfg())
+        .with_grid(GridShape::new(4, 2, 1))
+        .with_restart_from(dir.clone());
     let resumed = run_grid(&dcfg_resume, 8, &[KPoint::gamma()]);
     for r in &resumed {
         assert_eq!(r.resumed_from, Some(2), "rank {} did not resume", r.rank);
@@ -295,11 +268,7 @@ fn restart_reshards_8x1_snapshot_onto_4x2_grid() {
 #[test]
 fn ghost_wait_counter_accumulates() {
     let cfg = parity_cfg();
-    let dcfg = DistScfConfig {
-        base: cfg,
-        overlap: true,
-        ..DistScfConfig::default()
-    };
+    let dcfg = DistScfConfig::new(cfg).with_overlap();
     let (space, sys) = parity_system();
     let (results, stats) = run_cluster(2, |comm| {
         distributed_scf(comm, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()]).expect("scf")

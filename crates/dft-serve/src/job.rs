@@ -1,0 +1,386 @@
+//! The typed job API: what tenants submit and what they get back.
+//!
+//! A [`JobRequest`] names a tenant, a [`Priority`], a [`JobKind`] and a
+//! [`JobSpec`] — the physical problem (atoms, mesh, functional, k-points)
+//! plus resource hints (desired gang size, optional process-grid shape).
+//! Admission control answers synchronously with an [`AdmissionError`] when
+//! the server is over capacity; accepted jobs eventually deliver exactly one
+//! [`JobOutcome`] on the ticket channel.
+
+use dft_core::scf::KPoint;
+use dft_core::system::{Atom, AtomKind};
+use dft_core::xc::{Lda, Pbe, XcFunctional, XcPoint};
+use dft_fem::mesh::{Axis, BoundaryCondition, Mesh3d};
+use dft_hpc::comm::FaultPlan;
+use dft_materials::Structure;
+use dft_parallel::GridShape;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Scheduling priority. Ordering is semantic: `Low < Normal < High`, and
+/// the gang scheduler may preempt a running lower-priority job (through its
+/// checkpoint) to make room for a starved `High` one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Background work: screened first for preemption.
+    Low,
+    /// The default service class.
+    Normal,
+    /// Latency-sensitive: may trigger preemption when the pool is full.
+    High,
+}
+
+/// What kind of calculation the job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// A single self-consistent ground-state solve.
+    Scf,
+    /// Steepest-descent structural relaxation: `steps` rounds of
+    /// SCF-then-move with step length `gamma` (Bohr^2/Ha). Each round
+    /// warm-starts from the previous round's converged state.
+    Relax {
+        /// Relaxation rounds to perform.
+        steps: usize,
+    },
+    /// A cheap screening solve: the SCF runs with a 10x relaxed density
+    /// tolerance, for high-throughput candidate filtering.
+    Screen,
+}
+
+/// Exchange-correlation functional selector — a closed enum so job specs
+/// stay plain data (hashable, cloneable) while still dispatching to the
+/// real [`XcFunctional`] implementations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Functional {
+    /// Local-density approximation.
+    Lda,
+    /// PBE generalized-gradient approximation.
+    Pbe,
+}
+
+impl Functional {
+    /// Stable tag used in cache keys and reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Functional::Lda => "lda",
+            Functional::Pbe => "pbe",
+        }
+    }
+}
+
+impl XcFunctional for Functional {
+    fn name(&self) -> &'static str {
+        self.tag()
+    }
+    fn needs_gradient(&self) -> bool {
+        match self {
+            Functional::Lda => Lda.needs_gradient(),
+            Functional::Pbe => Pbe.needs_gradient(),
+        }
+    }
+    fn eval_point(&self, rho: f64, grad_norm: f64) -> XcPoint {
+        match self {
+            Functional::Lda => Lda.eval_point(rho, grad_norm),
+            Functional::Pbe => Pbe.eval_point(rho, grad_norm),
+        }
+    }
+}
+
+/// A declarative orthorhombic mesh: enough to rebuild the [`Mesh3d`] (and
+/// the derived `FeSpace` gather/scatter tables) on the server side, and to
+/// enter the canonical cache key without floating-point comparisons.
+#[derive(Clone, Copy, Debug)]
+pub struct MeshSpec {
+    /// Cells along each axis.
+    pub cells: [usize; 3],
+    /// Cell lengths along each axis (Bohr).
+    pub lengths: [f64; 3],
+    /// Polynomial degree of the FE basis.
+    pub degree: usize,
+    /// Periodicity per axis (`false` = Dirichlet).
+    pub periodic: [bool; 3],
+}
+
+impl MeshSpec {
+    /// A fully periodic cube: `n^3` cells of total edge `l`.
+    pub fn cube(n: usize, l: f64, degree: usize) -> Self {
+        Self {
+            cells: [n; 3],
+            lengths: [l; 3],
+            degree,
+            periodic: [true; 3],
+        }
+    }
+
+    /// Materialize the mesh.
+    pub fn build(&self) -> Mesh3d {
+        let axis = |i: usize| {
+            let bc = if self.periodic[i] {
+                BoundaryCondition::Periodic
+            } else {
+                BoundaryCondition::Dirichlet
+            };
+            Axis::uniform(self.cells[i], 0.0, self.lengths[i], bc)
+        };
+        Mesh3d::new([axis(0), axis(1), axis(2)], self.degree)
+    }
+}
+
+/// The physical problem plus resource hints.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Atoms (charge model + Cartesian positions, Bohr).
+    pub atoms: Vec<Atom>,
+    /// Finite-element discretization.
+    pub mesh: MeshSpec,
+    /// Exchange-correlation functional.
+    pub functional: Functional,
+    /// Kohn-Sham states per k-point.
+    pub n_states: usize,
+    /// Fermi-Dirac smearing temperature (Ha).
+    pub kt: f64,
+    /// Density-residual convergence tolerance.
+    pub tol: f64,
+    /// Maximum SCF iterations per solve.
+    pub max_iter: usize,
+    /// Chebyshev filter degree per ChFES cycle. Size this to the problem:
+    /// an aggressive filter on a tiny spectrum collapses the block.
+    pub cheb_degree: usize,
+    /// Extra filter passes in the first SCF iteration.
+    pub first_iter_cf_passes: usize,
+    /// Brillouin-zone samples (weights summing to 1).
+    pub kpts: Vec<KPoint>,
+    /// Desired gang size (ranks). The scheduler grants at most this many
+    /// and at least one, depending on pool pressure; checkpoints reshard,
+    /// so resumes may run at yet another count.
+    pub ranks: usize,
+    /// Preferred process-grid shape. Applied only when it tiles the
+    /// granted rank count exactly; otherwise the scheduler falls back to
+    /// the 1D slab layout.
+    pub grid_hint: Option<GridShape>,
+}
+
+impl JobSpec {
+    /// A miniature spec sized for serving tests and benchmarks: `atoms` in
+    /// a small periodic cube, LDA, Γ-point only.
+    pub fn miniature(atoms: Vec<Atom>, l: f64) -> Self {
+        Self {
+            atoms,
+            mesh: MeshSpec::cube(2, l, 2),
+            functional: Functional::Lda,
+            n_states: 2,
+            kt: 0.02,
+            tol: 1e-8,
+            max_iter: 80,
+            cheb_degree: 20,
+            first_iter_cf_passes: 2,
+            kpts: vec![KPoint::gamma()],
+            ranks: 1,
+            grid_hint: None,
+        }
+    }
+
+    /// Build a spec from a materials-side [`Structure`] (e.g. one member
+    /// of a `dft_materials::requests` burst family). The mesh spans the
+    /// structure's cell with `cells_per_axis` cells of degree `degree`,
+    /// inheriting its periodicity; `pseudo_of` maps each species label to
+    /// its pseudopotential `(valence charge, smearing radius)`. Electronic
+    /// knobs start at the miniature defaults — adjust on the returned spec.
+    pub fn from_structure(
+        s: &Structure,
+        cells_per_axis: usize,
+        degree: usize,
+        pseudo_of: impl Fn(&str) -> (f64, f64),
+    ) -> Self {
+        let atoms = s
+            .positions
+            .iter()
+            .zip(s.species.iter())
+            .map(|(&pos, sp)| {
+                let (z, r_c) = pseudo_of(sp);
+                Atom {
+                    kind: AtomKind::Pseudo { z, r_c },
+                    pos,
+                }
+            })
+            .collect();
+        let mut spec = Self::miniature(atoms, 1.0);
+        spec.mesh = MeshSpec {
+            cells: [cells_per_axis; 3],
+            lengths: s.cell,
+            degree,
+            periodic: s.periodic,
+        };
+        spec
+    }
+
+    /// Structural sanity checks run at admission time.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.atoms.is_empty() {
+            return Err("spec has no atoms".into());
+        }
+        if self.n_states == 0 {
+            return Err("spec requests zero states".into());
+        }
+        if self.kpts.is_empty() {
+            return Err("spec has no k-points".into());
+        }
+        if self.ranks == 0 {
+            return Err("spec requests a zero-rank gang".into());
+        }
+        if self.mesh.cells.contains(&0) || self.mesh.degree == 0 {
+            return Err("mesh has an empty axis or zero degree".into());
+        }
+        // `!(x > 0.0)` (not `x <= 0.0`) so NaN inputs are rejected too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(self.tol > 0.0) || !(self.kt > 0.0) || self.max_iter == 0 {
+            return Err("non-positive tolerance, temperature, or iteration budget".into());
+        }
+        if self.cheb_degree == 0 {
+            return Err("zero Chebyshev filter degree".into());
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if self.mesh.lengths.iter().any(|&l| !(l > 0.0)) {
+            return Err("mesh has a non-positive cell length".into());
+        }
+        Ok(())
+    }
+}
+
+/// A complete submission.
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// Tenant identity for fair queueing and quotas.
+    pub tenant: String,
+    /// Service class.
+    pub priority: Priority,
+    /// Calculation kind.
+    pub kind: JobKind,
+    /// The problem.
+    pub spec: JobSpec,
+    /// Deterministic fault-injection plan applied to this job's cluster
+    /// launch (testing/benchmark hook; empty plan = fault-free).
+    pub faults: Arc<FaultPlan>,
+}
+
+impl JobRequest {
+    /// A fault-free request.
+    pub fn new(tenant: &str, priority: Priority, kind: JobKind, spec: JobSpec) -> Self {
+        Self {
+            tenant: tenant.to_string(),
+            priority,
+            kind,
+            spec,
+            faults: Arc::new(FaultPlan::default()),
+        }
+    }
+
+    /// Attach a fault plan (testing hook).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Arc::new(faults);
+        self
+    }
+}
+
+/// Why a submission was rejected at the door. `QueueFull` and
+/// `TenantQuota` carry a `retry_after` hint derived from the current
+/// backlog so clients can back off proportionally instead of hammering.
+#[derive(Clone, Debug)]
+pub enum AdmissionError {
+    /// The global queue is at its depth bound.
+    QueueFull {
+        /// Jobs currently queued.
+        queued: usize,
+        /// The configured bound.
+        limit: usize,
+        /// Suggested resubmission delay.
+        retry_after: Duration,
+    },
+    /// This tenant alone is at its queued-job quota.
+    TenantQuota {
+        /// The offending tenant.
+        tenant: String,
+        /// Jobs this tenant has queued.
+        queued: usize,
+        /// The per-tenant bound.
+        limit: usize,
+        /// Suggested resubmission delay.
+        retry_after: Duration,
+    },
+    /// The server is draining and no longer admits work.
+    ShuttingDown,
+    /// The spec failed structural validation.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull {
+                queued,
+                limit,
+                retry_after,
+            } => write!(
+                f,
+                "queue full ({queued}/{limit} jobs); retry after {retry_after:?}"
+            ),
+            AdmissionError::TenantQuota {
+                tenant,
+                queued,
+                limit,
+                retry_after,
+            } => write!(
+                f,
+                "tenant {tenant} at quota ({queued}/{limit} queued); retry after {retry_after:?}"
+            ),
+            AdmissionError::ShuttingDown => write!(f, "server is shutting down"),
+            AdmissionError::InvalidSpec(why) => write!(f, "invalid job spec: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Terminal job state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The calculation finished (see [`JobOutcome::converged`]).
+    Completed,
+    /// The calculation failed irrecoverably.
+    Failed(String),
+}
+
+/// What a finished job reports back on its ticket channel.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Server-assigned job id.
+    pub job_id: u64,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Helmholtz free energy of the final SCF (Ha).
+    pub free_energy: f64,
+    /// Whether the final SCF met its density tolerance.
+    pub converged: bool,
+    /// SCF iterations actually performed across all solve rounds,
+    /// excluding the resumed prefix (a cache hit makes this small).
+    pub scf_iterations: usize,
+    /// Whether the job warm-started from the converged-state cache.
+    pub cache_hit: bool,
+    /// Times this job was preempted and later resumed.
+    pub preemptions: usize,
+    /// Cluster relaunches forced by rank loss.
+    pub recoveries: usize,
+    /// Ranks of the final (successful) launch.
+    pub ranks_granted: usize,
+    /// Ranks permanently lost to injected faults while this job ran.
+    pub ranks_lost: usize,
+    /// Final atom positions (moved only by `Relax` jobs).
+    pub positions: Vec<[f64; 3]>,
+    /// Admission-to-first-dispatch wait (milliseconds).
+    pub wait_ms: f64,
+    /// Admission-to-completion latency (milliseconds).
+    pub latency_ms: f64,
+}

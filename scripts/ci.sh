@@ -31,6 +31,9 @@ cargo test -q --offline --release -p dft-parallel --test fault_tolerance
 echo "==> process-grid suite (2x2 and 2x2x2 layouts, overlap, FP32 subspace, reshard restart)"
 cargo test -q --offline --release -p dft-parallel --test grid
 
+echo "==> serve suite (multi-tenant scheduler: bursts, admission control, preemption, rank kill)"
+cargo test -q --offline --release -p dft-serve
+
 echo "==> comm sanitizer (debug profile): message-leak + tag-band runtime checks"
 cargo test -q --offline -p dft-hpc --features sanitize comm::
 cargo test -q --offline -p dft-parallel --features sanitize --test fault_tolerance
@@ -53,5 +56,8 @@ cargo run -q --offline --release -p dft-bench --bin bench_scaling -- --check BEN
 
 echo "==> BENCH_recovery.json schema check"
 cargo run -q --offline --release -p dft-bench --bin bench_recovery -- --check BENCH_recovery.json
+
+echo "==> BENCH_serve.json schema check"
+cargo run -q --offline --release -p dft-bench --bin bench_serve -- --check BENCH_serve.json
 
 echo "==> CI green"
