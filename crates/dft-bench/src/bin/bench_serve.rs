@@ -145,7 +145,9 @@ fn main() {
     cfg.pool_ranks = POOL_RANKS;
     cfg.checkpoint_every = CHECKPOINT_EVERY;
     cfg.timeout = TIMEOUT;
-    cfg.relax_gamma = 0.05;
+    // unreachable force tolerance: the background relaxations run all of
+    // their steps, staying long-lived enough to be preemption targets
+    cfg.relax_force_tol = 0.0;
     let server = DftServer::start(cfg).expect("start burst server");
     let t0 = Instant::now();
 

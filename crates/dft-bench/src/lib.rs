@@ -7,12 +7,14 @@
 
 #![deny(unsafe_code)]
 
+pub mod md;
 pub mod pipeline;
 pub mod recovery;
 pub mod scaling;
 pub mod serve;
 pub mod systems;
 
+pub use md::MdBench;
 pub use pipeline::{train_mlxc_from_invdft, MiniSystem, PipelineConfig};
 pub use recovery::RecoveryBench;
 pub use scaling::{CommBytes, RankRun, ScalingReport, WireComparison, CHFES_PHASES};

@@ -1,0 +1,407 @@
+//! Schema and validation of `BENCH_md.json`, the artifact emitted by the
+//! `bench_md` binary: distributed Hellmann-Feynman force assembly
+//! (partition critical path, parity, determinism), FIRE relaxation with
+//! warm-started SCF between geometry steps (cold vs warm iteration
+//! counts, energy parity against the serial driver), and a short
+//! velocity-Verlet BO-MD run with its total-energy drift.
+
+use serde::{Deserialize, Serialize};
+
+/// Workload shape shared by the three sections.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MdSetup {
+    /// Thread-ranks used by the distributed runs.
+    pub ranks: usize,
+    /// Process-grid shape of the force partition (e.g. "4x1x1").
+    pub grid: String,
+    /// Nodes of the force-assembly benchmark mesh.
+    pub force_nodes: usize,
+    /// Atoms of the force-assembly benchmark system.
+    pub force_atoms: usize,
+    /// DoFs of the relaxation/MD dimer system.
+    pub relax_ndofs: usize,
+    /// SCF density tolerance of the relaxation/MD solves.
+    pub scf_tol: f64,
+    /// FIRE geometry moves performed by each relaxation arm.
+    pub relax_steps: usize,
+    /// Velocity-Verlet steps of the MD run.
+    pub md_steps: usize,
+}
+
+/// The distributed force assembly: how the serial O(atoms x nodes)
+/// bottleneck divides across ranks, and that the reduction reproduces the
+/// serial answer exactly.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ForceAssemblyStats {
+    /// Repetitions per timed batch in this section.
+    pub evaluations: usize,
+    /// Serial assembly seconds (full electrostatic quadrature + full
+    /// ion-ion image sum, one rank): best of several batches of
+    /// `evaluations` repetitions — the minimum is robust against
+    /// scheduler interference on a shared host.
+    pub serial_assembly_s: f64,
+    /// Each rank's shard timed in isolation (same batching), index =
+    /// rank.
+    pub rank_assembly_s: Vec<f64>,
+    /// `max(rank_assembly_s)` — the assembly critical path under the
+    /// partition.
+    pub critical_path_s: f64,
+    /// `serial_assembly_s / critical_path_s`: the measured division of
+    /// the serial bottleneck. On a single-core host this is the honest
+    /// speedup claim — concurrent thread-ranks time-slice one core, so
+    /// end-to-end wall time cannot drop (see `note`).
+    pub partition_speedup: f64,
+    /// `max / min` over `rank_assembly_s` — shard balance.
+    pub balance: f64,
+    /// Mean end-to-end `distributed_forces` wall seconds on this host
+    /// (includes the replicated Poisson solve and thread contention).
+    pub distributed_wall_s_mean: f64,
+    /// Mean replicated force-Poisson seconds per evaluation.
+    pub poisson_s_mean: f64,
+    /// Mean force-reduction seconds per evaluation.
+    pub reduce_s_mean: f64,
+    /// Worst per-component difference vs the serial `compute_forces`.
+    pub max_abs_force_diff_vs_serial: f64,
+    /// Whether two identical distributed runs produced bit-identical
+    /// forces on every rank (L004).
+    pub bit_identical_reruns: bool,
+}
+
+/// Cold vs warm FIRE relaxation arms plus serial-driver parity.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RelaxWarmStats {
+    /// Geometry moves per arm (each arm records `steps + 1` evaluations).
+    pub steps: usize,
+    /// Per-evaluation SCF iterations of the cold arm (`warm_start =
+    /// false`; every step solves from the superposition guess).
+    pub cold_scf_iterations: Vec<usize>,
+    /// Per-evaluation SCF iterations of the warm arm (`warm_start =
+    /// true`; steps after the first resume from the previous step's
+    /// converged state).
+    pub warm_scf_iterations: Vec<usize>,
+    /// Evaluations of the warm arm that actually resumed from a snapshot
+    /// (must be every evaluation after the first).
+    pub warm_steps: usize,
+    /// `sum(cold_scf_iterations[1..])` — iterations the warm start can
+    /// address.
+    pub cold_total_after_first: usize,
+    /// `sum(warm_scf_iterations[1..])`.
+    pub warm_total_after_first: usize,
+    /// `100 * (1 - warm_total_after_first / cold_total_after_first)`.
+    pub savings_percent: f64,
+    /// Final free energy of the serial `relax` driver (Ha).
+    pub serial_final_energy_ha: f64,
+    /// Final free energy of the cold distributed arm (Ha).
+    pub cold_final_energy_ha: f64,
+    /// Final free energy of the warm distributed arm (Ha).
+    pub warm_final_energy_ha: f64,
+    /// `|cold - serial|`: the cold arm replays the serial FIRE
+    /// trajectory, so this is held to 1e-10 Ha.
+    pub abs_cold_vs_serial_ha: f64,
+    /// `|warm - cold|`: warm steps reconverge to the same SCF tolerance
+    /// from a different initial guess, so this is tolerance-level noise,
+    /// not a bitwise identity.
+    pub abs_warm_vs_cold_ha: f64,
+    /// Largest force component at the warm arm's final geometry.
+    pub final_fmax: f64,
+}
+
+/// The velocity-Verlet BO-MD run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MdRunStats {
+    /// MD steps integrated.
+    pub steps: usize,
+    /// Time step (atomic units).
+    pub dt: f64,
+    /// Per-evaluation SCF iterations (`steps + 1` entries).
+    pub scf_iterations: Vec<usize>,
+    /// Evaluations that warm-started (every one after the first).
+    pub warm_steps: usize,
+    /// Potential + kinetic at step 0 (Ha).
+    pub initial_total_ha: f64,
+    /// Potential + kinetic after the last step (Ha).
+    pub final_total_ha: f64,
+    /// `|final - initial|` — bounded by integrator + SCF-tolerance noise.
+    pub energy_drift_ha: f64,
+}
+
+/// The full `BENCH_md.json` document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MdBench {
+    /// Provenance note (host shape, what the speedup metric means here).
+    pub note: String,
+    /// Workload shape.
+    pub setup: MdSetup,
+    /// Distributed force assembly.
+    pub forces: ForceAssemblyStats,
+    /// Cold/warm relaxation arms.
+    pub relax: RelaxWarmStats,
+    /// BO-MD run.
+    pub md: MdRunStats,
+}
+
+impl MdBench {
+    /// Schema + invariant check; used by the emitting binary before
+    /// writing and by CI's `--check` against the committed artifact.
+    pub fn validate(&self) -> Result<(), String> {
+        let s = &self.setup;
+        if s.ranks < 2 {
+            return Err("force partition must use at least two ranks".into());
+        }
+        if s.force_nodes == 0 || s.force_atoms == 0 || s.relax_ndofs == 0 {
+            return Err("degenerate workload shape".into());
+        }
+        if !(s.scf_tol.is_finite() && s.scf_tol > 0.0) {
+            return Err("SCF tolerance invalid".into());
+        }
+        if s.relax_steps == 0 || s.md_steps == 0 {
+            return Err("relax/MD arms must take at least one step".into());
+        }
+
+        let f = &self.forces;
+        if f.evaluations < 3 {
+            return Err("force timings need at least 3 repetitions".into());
+        }
+        if f.rank_assembly_s.len() != s.ranks {
+            return Err("one shard timing per rank required".into());
+        }
+        for (name, v) in [
+            ("serial_assembly_s", f.serial_assembly_s),
+            ("critical_path_s", f.critical_path_s),
+            ("distributed_wall_s_mean", f.distributed_wall_s_mean),
+            ("poisson_s_mean", f.poisson_s_mean),
+            ("reduce_s_mean", f.reduce_s_mean),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("force timing {name} invalid"));
+            }
+        }
+        let max_shard = f.rank_assembly_s.iter().copied().fold(0.0, f64::max);
+        let min_shard = f.rank_assembly_s.iter().copied().fold(f64::MAX, f64::min);
+        if (f.critical_path_s - max_shard).abs() > 1e-12 {
+            return Err("critical_path_s is not the max shard time".into());
+        }
+        let speedup = f.serial_assembly_s / f.critical_path_s;
+        if (speedup - f.partition_speedup).abs() > 1e-9 * speedup.abs() {
+            return Err("partition_speedup inconsistent with the timings".into());
+        }
+        if f.partition_speedup < 1.5 {
+            return Err(format!(
+                "the partition must measurably divide the serial assembly, got {:.2}x",
+                f.partition_speedup
+            ));
+        }
+        let balance = max_shard / min_shard;
+        if (balance - f.balance).abs() > 1e-9 * balance {
+            return Err("balance inconsistent with the shard timings".into());
+        }
+        if f.balance > 3.0 {
+            return Err(format!("shards are badly unbalanced ({:.2}x)", f.balance));
+        }
+        if f.max_abs_force_diff_vs_serial > 1e-12 {
+            return Err(format!(
+                "distributed forces drift from serial by {:.3e} (> 1e-12)",
+                f.max_abs_force_diff_vs_serial
+            ));
+        }
+        if !f.bit_identical_reruns {
+            return Err("repeated distributed runs were not bit-identical".into());
+        }
+
+        let r = &self.relax;
+        if r.steps != s.relax_steps {
+            return Err("relax step counts disagree with the setup".into());
+        }
+        let want = r.steps + 1;
+        if r.cold_scf_iterations.len() != want || r.warm_scf_iterations.len() != want {
+            return Err(format!("each relax arm must record {want} evaluations"));
+        }
+        if r.cold_scf_iterations.contains(&0) || r.warm_scf_iterations.contains(&0) {
+            return Err("every relax evaluation must perform SCF iterations".into());
+        }
+        if r.warm_steps != r.steps {
+            return Err(format!(
+                "every step after the first must warm-start: {} of {}",
+                r.warm_steps, r.steps
+            ));
+        }
+        let cold_after: usize = r.cold_scf_iterations[1..].iter().sum();
+        let warm_after: usize = r.warm_scf_iterations[1..].iter().sum();
+        if cold_after != r.cold_total_after_first || warm_after != r.warm_total_after_first {
+            return Err("iteration totals inconsistent with the per-step records".into());
+        }
+        if warm_after >= cold_after {
+            return Err(format!(
+                "warm steps must reconverge in fewer iterations: warm {warm_after} vs cold {cold_after}"
+            ));
+        }
+        let savings = 100.0 * (1.0 - warm_after as f64 / cold_after as f64);
+        if (savings - r.savings_percent).abs() > 1e-9 {
+            return Err("savings_percent inconsistent with the totals".into());
+        }
+        if r.savings_percent < 10.0 {
+            return Err(format!(
+                "warm-start savings must be measurable (>= 10%), got {:.1}%",
+                r.savings_percent
+            ));
+        }
+        if !r.abs_cold_vs_serial_ha.is_finite() || r.abs_cold_vs_serial_ha > 1e-10 {
+            return Err(format!(
+                "cold distributed arm drifts from serial relax by {:.3e} Ha (> 1e-10)",
+                r.abs_cold_vs_serial_ha
+            ));
+        }
+        if !r.abs_warm_vs_cold_ha.is_finite() || r.abs_warm_vs_cold_ha > 1e-6 {
+            return Err(format!(
+                "warm arm drifts beyond SCF-tolerance noise: {:.3e} Ha",
+                r.abs_warm_vs_cold_ha
+            ));
+        }
+        if !r.final_fmax.is_finite() || r.final_fmax < 0.0 {
+            return Err("final fmax invalid".into());
+        }
+
+        let m = &self.md;
+        if m.steps != s.md_steps {
+            return Err("MD step counts disagree with the setup".into());
+        }
+        if !(m.dt.is_finite() && m.dt > 0.0) {
+            return Err("MD time step invalid".into());
+        }
+        if m.scf_iterations.len() != m.steps + 1 {
+            return Err(format!("MD must record {} evaluations", m.steps + 1));
+        }
+        if m.scf_iterations.contains(&0) {
+            return Err("every MD evaluation must perform SCF iterations".into());
+        }
+        if m.warm_steps != m.steps {
+            return Err("every MD step after the first must warm-start".into());
+        }
+        let drift = (m.final_total_ha - m.initial_total_ha).abs();
+        if (drift - m.energy_drift_ha).abs() > 1e-12 {
+            return Err("energy_drift_ha inconsistent with the totals".into());
+        }
+        if !m.energy_drift_ha.is_finite() || m.energy_drift_ha > 1e-2 {
+            return Err(format!(
+                "MD total energy drifts by {:.3e} Ha over {} steps",
+                m.energy_drift_ha, m.steps
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good() -> MdBench {
+        MdBench {
+            note: "test".into(),
+            setup: MdSetup {
+                ranks: 4,
+                grid: "4x1x1".into(),
+                force_nodes: 1728,
+                force_atoms: 10,
+                relax_ndofs: 216,
+                scf_tol: 1e-6,
+                relax_steps: 4,
+                md_steps: 4,
+            },
+            forces: ForceAssemblyStats {
+                evaluations: 10,
+                serial_assembly_s: 0.4,
+                rank_assembly_s: vec![0.11, 0.10, 0.10, 0.09],
+                critical_path_s: 0.11,
+                partition_speedup: 0.4 / 0.11,
+                balance: 0.11 / 0.09,
+                distributed_wall_s_mean: 0.05,
+                poisson_s_mean: 0.02,
+                reduce_s_mean: 0.001,
+                max_abs_force_diff_vs_serial: 3e-15,
+                bit_identical_reruns: true,
+            },
+            relax: RelaxWarmStats {
+                steps: 4,
+                cold_scf_iterations: vec![8, 8, 8, 8, 8],
+                warm_scf_iterations: vec![8, 4, 6, 6, 6],
+                warm_steps: 4,
+                cold_total_after_first: 32,
+                warm_total_after_first: 22,
+                savings_percent: 100.0 * (1.0 - 22.0 / 32.0),
+                serial_final_energy_ha: -1.18379405,
+                cold_final_energy_ha: -1.18379405,
+                warm_final_energy_ha: -1.18379396,
+                abs_cold_vs_serial_ha: 3e-12,
+                abs_warm_vs_cold_ha: 9e-8,
+                final_fmax: 0.31,
+            },
+            md: MdRunStats {
+                steps: 4,
+                dt: 0.5,
+                scf_iterations: vec![8, 5, 6, 6, 6],
+                warm_steps: 4,
+                initial_total_ha: -1.105,
+                final_total_ha: -1.1052,
+                energy_drift_ha: 0.0002,
+            },
+        }
+    }
+
+    #[test]
+    fn good_report_validates_and_round_trips() {
+        let r = good();
+        r.validate().unwrap();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: MdBench = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.relax.warm_total_after_first, 22);
+    }
+
+    #[test]
+    fn validation_rejects_violations() {
+        let mut r = good();
+        r.forces.max_abs_force_diff_vs_serial = 1e-10;
+        assert!(r.validate().is_err(), "force drift must be rejected");
+
+        let mut r = good();
+        r.forces.bit_identical_reruns = false;
+        assert!(r.validate().is_err(), "nondeterminism must be rejected");
+
+        let mut r = good();
+        r.forces.rank_assembly_s = vec![0.35, 0.30, 0.30, 0.30];
+        r.forces.critical_path_s = 0.35;
+        r.forces.partition_speedup = 0.4 / 0.35;
+        r.forces.balance = 0.35 / 0.30;
+        assert!(
+            r.validate().is_err(),
+            "a non-dividing partition is rejected"
+        );
+
+        let mut r = good();
+        r.relax.warm_scf_iterations = vec![8, 8, 8, 8, 8];
+        r.relax.warm_total_after_first = 32;
+        r.relax.savings_percent = 0.0;
+        assert!(r.validate().is_err(), "no warm savings must be rejected");
+
+        let mut r = good();
+        r.relax.warm_steps = 2;
+        assert!(r.validate().is_err(), "cold middle steps must be rejected");
+
+        let mut r = good();
+        r.relax.abs_cold_vs_serial_ha = 1e-8;
+        assert!(
+            r.validate().is_err(),
+            "serial-parity drift must be rejected"
+        );
+
+        let mut r = good();
+        r.md.energy_drift_ha = 0.5;
+        r.md.final_total_ha = r.md.initial_total_ha - 0.5;
+        assert!(r.validate().is_err(), "MD drift must be rejected");
+
+        let mut r = good();
+        r.relax.savings_percent += 1.0;
+        assert!(r.validate().is_err(), "inconsistent savings rejected");
+    }
+}

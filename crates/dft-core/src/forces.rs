@@ -16,6 +16,14 @@
 //!
 //! Valid at SCF convergence (Hellmann-Feynman); validated against finite
 //! differences of the total energy in the tests.
+//!
+//! Both physical terms are exposed as *partial* sums —
+//! [`electrostatic_force_partial`] over a node subset and
+//! [`ion_ion_force_partial`] over a round-robin atom shard — so the
+//! distributed assembly in `dft-parallel` can give each rank its owned
+//! share and reassemble the total with one deterministic reduction. The
+//! serial [`compute_forces`] is exactly the two full partials glued to the
+//! [`force_poisson`] solve.
 
 use crate::math::erfc;
 use crate::system::AtomicSystem;
@@ -23,9 +31,47 @@ use dft_fem::mesh::BoundaryCondition;
 use dft_fem::poisson::{solve_poisson, PoissonBc};
 use dft_fem::space::FeSpace;
 
-/// Compute forces (Ha/Bohr) on every atom for a converged density
-/// `rho_e` (full nodal vector).
-pub fn compute_forces(space: &FeSpace, system: &AtomicSystem, rho_e: &[f64]) -> Vec<[f64; 3]> {
+/// Why a force evaluation failed. Forces ride one extra electrostatic
+/// solve; if that solve diverges the Hellmann-Feynman term is garbage, and
+/// callers (the relaxation drivers, the job server) must surface a typed
+/// failure instead of unwinding through a panic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ForceError {
+    /// The electrostatic Poisson solve for the force potential did not
+    /// reach its tolerance within the iteration budget.
+    PoissonDiverged {
+        /// CG iterations performed before giving up.
+        iterations: usize,
+        /// Residual at the final iteration.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for ForceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForceError::PoissonDiverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "force electrostatics diverged: Poisson residual {residual:.3e} after {iterations} CG iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ForceError {}
+
+/// Solve for the total electrostatic potential `phi` of `rho_ion - rho_e`
+/// (the one extra Poisson solve behind every force evaluation). Pure
+/// recomputation from replicated inputs — the distributed assembly calls
+/// this identically on every rank.
+pub fn force_poisson(
+    space: &FeSpace,
+    system: &AtomicSystem,
+    rho_e: &[f64],
+) -> Result<Vec<f64>, ForceError> {
     assert_eq!(rho_e.len(), space.nnodes());
     let rho_ion = system.ion_density(space);
     let rho_charge: Vec<f64> = (0..space.nnodes()).map(|i| rho_ion[i] - rho_e[i]).collect();
@@ -40,27 +86,46 @@ pub fn compute_forces(space: &FeSpace, system: &AtomicSystem, rho_e: &[f64]) -> 
         PoissonBc::Dirichlet(&|_| 0.0)
     };
     let (phi, st) = solve_poisson(space, &rho_charge, bc, 1e-10, 20000);
-    assert!(st.converged, "force electrostatics failed");
+    if !st.converged {
+        return Err(ForceError::PoissonDiverged {
+            iterations: st.iterations,
+            residual: st.final_residuals.iter().copied().fold(0.0, f64::max),
+        });
+    }
+    Ok(phi)
+}
 
-    let lengths = [
-        space.mesh.axes[0].length(),
-        space.mesh.axes[1].length(),
-        space.mesh.axes[2].length(),
-    ];
-    let periodic = [
-        space.mesh.axes[0].bc() == BoundaryCondition::Periodic,
-        space.mesh.axes[1].bc() == BoundaryCondition::Periodic,
-        space.mesh.axes[2].bc() == BoundaryCondition::Periodic,
-    ];
+/// The electrostatic Hellmann-Feynman term accumulated over a node subset:
+/// nodes where `node_mask` is `false` contribute nothing, so masked calls
+/// on disjoint node sets sum (in any association) to the full-mask result.
+/// `None` sums every node — the serial path. Nodal quadrature, fixed
+/// ascending-node accumulation order.
+pub fn electrostatic_force_partial(
+    space: &FeSpace,
+    system: &AtomicSystem,
+    phi: &[f64],
+    node_mask: Option<&[bool]>,
+) -> Vec<[f64; 3]> {
+    assert_eq!(phi.len(), space.nnodes());
+    if let Some(m) = node_mask {
+        assert_eq!(m.len(), space.nnodes());
+    }
+    let lengths = axis_lengths(space);
+    let periodic = axis_periodic(space);
+    let mass = space.mass_diag();
 
     let mut forces = vec![[0.0f64; 3]; system.atoms.len()];
-    // electrostatic Hellmann-Feynman term (nodal quadrature)
     for (ai, atom) in system.atoms.iter().enumerate() {
         let alpha = atom.kind.alpha();
         let z = atom.kind.z();
         let norm = z * (alpha / std::f64::consts::PI).powf(1.5);
         let rcut2 = 20.0 / alpha;
         for n in 0..space.nnodes() {
+            if let Some(m) = node_mask {
+                if !m[n] {
+                    continue;
+                }
+            }
             let c = space.node_coord(n);
             let mut d = [0.0f64; 3];
             let mut r2 = 0.0;
@@ -76,26 +141,44 @@ pub fn compute_forces(space: &FeSpace, system: &AtomicSystem, rho_e: &[f64]) -> 
                 continue;
             }
             let g = norm * (-alpha * r2).exp();
-            let w = space.mass_diag()[n] * phi[n] * 2.0 * alpha * g;
-            // F = - integral (d rho_a / d R) phi ; d rho_a / d R_k = 2 a d_k g
-            // with d_k = (r - R)_k, so d rho/dR_k = +2 a d_k g?? Note
-            // d/dR_k exp(-a|r-R|^2) = +2a (r_k - R_k) exp(...)
+            // d rho_a / d R_k = 2 alpha (r - R)_k rho_a, F = -integral(...) phi
+            let w = mass[n] * phi[n] * 2.0 * alpha * g;
             for k in 0..3 {
                 forces[ai][k] -= w * d[k];
             }
         }
     }
+    forces
+}
 
-    // short-ranged ion-ion correction forces (pairs + images)
+/// The short-ranged ion-ion correction forces over a round-robin shard of
+/// the first pair index: only atoms `a` with `a % nshards == shard`
+/// contribute, so the shards partition the pair sum exactly and
+/// `(0, 1)` is the full serial sum.
+pub fn ion_ion_force_partial(
+    space: &FeSpace,
+    system: &AtomicSystem,
+    shard: usize,
+    nshards: usize,
+) -> Vec<[f64; 3]> {
+    assert!(nshards >= 1 && shard < nshards);
+    let lengths = axis_lengths(space);
+    let periodic = axis_periodic(space);
     let n_at = system.atoms.len();
+    let mut forces = vec![[0.0f64; 3]; n_at];
+    if n_at == 0 {
+        return forces;
+    }
+    // image count per axis from the smallest Gaussian width (hoisted out of
+    // the per-axis closure: it is a property of the atom set, not the axis)
+    let alpha_min = system
+        .atoms
+        .iter()
+        .map(|a| a.kind.alpha())
+        .fold(f64::INFINITY, f64::min);
+    let rcut = 7.0 / (0.5 * alpha_min).sqrt();
     let img = |d: usize| -> i64 {
         if periodic[d] {
-            let alpha_min = system
-                .atoms
-                .iter()
-                .map(|a| a.kind.alpha())
-                .fold(f64::INFINITY, f64::min);
-            let rcut = 7.0 / (0.5 * alpha_min).sqrt();
             (rcut / lengths[d]).ceil() as i64
         } else {
             0
@@ -103,7 +186,7 @@ pub fn compute_forces(space: &FeSpace, system: &AtomicSystem, rho_e: &[f64]) -> 
     };
     let (ix, iy, iz) = (img(0), img(1), img(2));
     let sqrt_pi = std::f64::consts::PI.sqrt();
-    for a in 0..n_at {
+    for a in (shard..n_at).step_by(nshards) {
         for b in 0..n_at {
             let (za, zb) = (system.atoms[a].kind.z(), system.atoms[b].kind.z());
             let (aa, ab) = (system.atoms[a].kind.alpha(), system.atoms[b].kind.alpha());
@@ -140,6 +223,42 @@ pub fn compute_forces(space: &FeSpace, system: &AtomicSystem, rho_e: &[f64]) -> 
         }
     }
     forces
+}
+
+fn axis_lengths(space: &FeSpace) -> [f64; 3] {
+    [
+        space.mesh.axes[0].length(),
+        space.mesh.axes[1].length(),
+        space.mesh.axes[2].length(),
+    ]
+}
+
+fn axis_periodic(space: &FeSpace) -> [bool; 3] {
+    [
+        space.mesh.axes[0].bc() == BoundaryCondition::Periodic,
+        space.mesh.axes[1].bc() == BoundaryCondition::Periodic,
+        space.mesh.axes[2].bc() == BoundaryCondition::Periodic,
+    ]
+}
+
+/// Compute forces (Ha/Bohr) on every atom for a converged density
+/// `rho_e` (full nodal vector). Errors — instead of panicking — when the
+/// force Poisson solve diverges, so drivers can fail the surrounding job
+/// with a reason.
+pub fn compute_forces(
+    space: &FeSpace,
+    system: &AtomicSystem,
+    rho_e: &[f64],
+) -> Result<Vec<[f64; 3]>, ForceError> {
+    let phi = force_poisson(space, system, rho_e)?;
+    let mut forces = electrostatic_force_partial(space, system, &phi, None);
+    let ion = ion_ion_force_partial(space, system, 0, 1);
+    for (f, g) in forces.iter_mut().zip(ion.iter()) {
+        for k in 0..3 {
+            f[k] += g[k];
+        }
+    }
+    Ok(forces)
 }
 
 /// Largest force component magnitude (the relaxation convergence metric).
@@ -192,7 +311,7 @@ mod tests {
         }]);
         let r = scf(&s, &sys, &Lda, &cfg(2.0), &[KPoint::gamma()]);
         assert!(r.converged);
-        let f = compute_forces(&s, &sys, &r.density.values);
+        let f = compute_forces(&s, &sys, &r.density.values).expect("forces");
         assert!(max_force(&f) < 5e-3, "symmetric atom force {:?}", f[0]);
     }
 
@@ -217,7 +336,7 @@ mod tests {
             ]);
             let r = scf(&s, &sys, &Lda, &cfg(2.0), &[KPoint::gamma()]);
             assert!(r.converged);
-            let f = compute_forces(&s, &sys, &r.density.values);
+            let f = compute_forces(&s, &sys, &r.density.values).expect("forces");
             (r.energy.free_energy, f, sys, s)
         };
         let h = 0.05;
@@ -249,10 +368,69 @@ mod tests {
         ]);
         let r = scf(&s, &sys, &Lda, &cfg(4.0), &[KPoint::gamma()]);
         assert!(r.converged);
-        let f = compute_forces(&s, &sys, &r.density.values);
+        let f = compute_forces(&s, &sys, &r.density.values).expect("forces");
         // atoms too close: atom 0 pushed -x, atom 1 pushed +x
         assert!(f[0][0] < 0.0 && f[1][0] > 0.0, "repulsion: {:?}", f);
         // Newton's third law along the axis
         assert!((f[0][0] + f[1][0]).abs() < 0.1 * f[1][0].abs());
+    }
+
+    /// The partial sums must tile the full assembly exactly: masked node
+    /// subsets and atom shards recombine to the serial result.
+    #[test]
+    fn partials_tile_the_full_assembly() {
+        let l = 8.0;
+        let s = FeSpace::new(Mesh3d::periodic_cube(2, l, 3));
+        let sys = AtomicSystem::new(vec![
+            Atom {
+                kind: AtomKind::Pseudo { z: 2.0, r_c: 0.8 },
+                pos: [2.5, 4.0, 4.0],
+            },
+            Atom {
+                kind: AtomKind::Pseudo { z: 1.0, r_c: 0.7 },
+                pos: [5.5, 4.0, 4.0],
+            },
+            Atom {
+                kind: AtomKind::Pseudo { z: 1.0, r_c: 0.7 },
+                pos: [4.0, 2.0, 6.0],
+            },
+        ]);
+        let rho_e = sys.initial_density(&s);
+        let phi = force_poisson(&s, &sys, &rho_e).expect("phi");
+        let full_es = electrostatic_force_partial(&s, &sys, &phi, None);
+        let full_ii = ion_ion_force_partial(&s, &sys, 0, 1);
+
+        // two complementary node masks
+        let mask_a: Vec<bool> = (0..s.nnodes()).map(|n| n % 3 == 0).collect();
+        let mask_b: Vec<bool> = mask_a.iter().map(|&m| !m).collect();
+        let es_a = electrostatic_force_partial(&s, &sys, &phi, Some(&mask_a));
+        let es_b = electrostatic_force_partial(&s, &sys, &phi, Some(&mask_b));
+        for ai in 0..3 {
+            for k in 0..3 {
+                let sum = es_a[ai][k] + es_b[ai][k];
+                assert!(
+                    (sum - full_es[ai][k]).abs() <= 1e-13 * (1.0 + full_es[ai][k].abs()),
+                    "electrostatic partials do not tile: atom {ai} axis {k}"
+                );
+            }
+        }
+        // three atom shards of the ion-ion sum
+        let mut ii_sum = [[0.0f64; 3]; 3];
+        for shard in 0..3 {
+            let part = ion_ion_force_partial(&s, &sys, shard, 3);
+            for ai in 0..3 {
+                for k in 0..3 {
+                    ii_sum[ai][k] += part[ai][k];
+                }
+            }
+        }
+        for ai in 0..3 {
+            for k in 0..3 {
+                assert!(
+                    (ii_sum[ai][k] - full_ii[ai][k]).abs() <= 1e-13 * (1.0 + full_ii[ai][k].abs()),
+                    "ion-ion shards do not tile: atom {ai} axis {k}"
+                );
+            }
+        }
     }
 }

@@ -44,11 +44,14 @@ pub use chebyshev::{
     chfes_profiled, chfes_reduced, lanczos_bounds, CfDriver, CfFilter, CfScratch, ChfesOptions,
     NoReduce, SubspaceReducer,
 };
-pub use forces::{compute_forces, max_force};
+pub use forces::{
+    compute_forces, electrostatic_force_partial, force_poisson, ion_ion_force_partial, max_force,
+    ForceError,
+};
 pub use hamiltonian::{HamOperator, KsHamiltonian};
 pub use mixing::AndersonMixer;
 pub use occupation::{fermi_occupations, OccupationResult};
-pub use relax::{relax, RelaxConfig, RelaxResult};
+pub use relax::{relax, FireState, RelaxConfig, RelaxResult};
 pub use scf::{scf, KPoint, ScfConfig, ScfResult, TotalEnergy};
 pub use system::{Atom, AtomKind, AtomicSystem};
 pub use xc::{FeDivergence, Lda, MlxcFunctional, Pbe, SyntheticTruth, XcEvaluation, XcFunctional};

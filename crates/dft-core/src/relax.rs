@@ -4,8 +4,13 @@
 //! geometries; FIRE (fast inertial relaxation engine) is the standard
 //! molecular-statics driver: velocity-Verlet steps with adaptive
 //! time-step and a "power" criterion that kills uphill inertia.
+//!
+//! The integrator state lives in [`FireState`] so the distributed driver
+//! in `dft-parallel` can run the *identical* update rule (bit-for-bit:
+//! same accumulation order, same branches) on replicated forces and
+//! checkpoint/restore it across preemptions.
 
-use crate::forces::{compute_forces, max_force};
+use crate::forces::{compute_forces, max_force, ForceError};
 use crate::scf::{scf, KPoint, ScfConfig, ScfResult};
 use crate::system::AtomicSystem;
 use crate::xc::XcFunctional;
@@ -39,13 +44,112 @@ impl Default for RelaxConfig {
     }
 }
 
+/// Mutable FIRE integrator state: velocities plus the adaptive knobs.
+/// One `step` call consumes the current forces and returns the
+/// displacement to apply; the state is pure data so drivers can persist
+/// it (the distributed relaxation checkpoints it alongside the SCF
+/// snapshot) and replay deterministically.
+#[derive(Clone, Debug)]
+pub struct FireState {
+    /// Per-atom velocities (unit masses).
+    pub v: Vec<[f64; 3]>,
+    /// Current adaptive time step.
+    pub dt: f64,
+    /// Current velocity-mixing parameter.
+    pub alpha: f64,
+    /// Consecutive downhill (P > 0) steps.
+    pub n_pos: usize,
+}
+
+impl FireState {
+    /// Fresh state for `n_atoms` atoms with the configured initial dt.
+    pub fn new(n_atoms: usize, cfg: &RelaxConfig) -> Self {
+        Self {
+            v: vec![[0.0; 3]; n_atoms],
+            dt: cfg.dt,
+            alpha: 0.1,
+            n_pos: 0,
+        }
+    }
+
+    /// One FIRE update: mix velocities by the power criterion, integrate
+    /// one velocity-Verlet step, and return the per-atom displacements.
+    ///
+    /// Trust radius: the step is clamped by the *norm* of the largest
+    /// per-atom displacement (a uniform rescale of the whole step vector,
+    /// preserving its direction), and the velocities are rescaled by the
+    /// same factor so that `v == dx/dt` — the next power criterion
+    /// `P = F.v` sees a velocity consistent with the move actually
+    /// applied. (The old per-component clamp both bent the step direction
+    /// and left `v` describing a move that never happened.)
+    pub fn step(&mut self, f: &[[f64; 3]], cfg: &RelaxConfig) -> Vec<[f64; 3]> {
+        let n = f.len();
+        assert_eq!(self.v.len(), n);
+        // FIRE: P = F . v
+        let p: f64 = (0..n)
+            .map(|i| (0..3).map(|k| f[i][k] * self.v[i][k]).sum::<f64>())
+            .sum();
+        let fnorm: f64 = (0..n)
+            .map(|i| (0..3).map(|k| f[i][k] * f[i][k]).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+            .max(1e-300);
+        let vnorm: f64 = (0..n)
+            .map(|i| (0..3).map(|k| self.v[i][k] * self.v[i][k]).sum::<f64>())
+            .sum::<f64>()
+            .sqrt();
+        if p > 0.0 {
+            for i in 0..n {
+                for k in 0..3 {
+                    self.v[i][k] =
+                        (1.0 - self.alpha) * self.v[i][k] + self.alpha * f[i][k] / fnorm * vnorm;
+                }
+            }
+            self.n_pos += 1;
+            if self.n_pos > 5 {
+                self.dt = (self.dt * 1.1).min(cfg.dt_max);
+                self.alpha *= 0.99;
+            }
+        } else {
+            self.v = vec![[0.0; 3]; n];
+            self.dt *= 0.5;
+            self.alpha = 0.1;
+            self.n_pos = 0;
+        }
+        // velocity Verlet (unit masses)
+        let mut dx = vec![[0.0f64; 3]; n];
+        let mut max_norm = 0.0f64;
+        for i in 0..n {
+            let mut d2 = 0.0;
+            for k in 0..3 {
+                self.v[i][k] += self.dt * f[i][k];
+                dx[i][k] = self.dt * self.v[i][k];
+                d2 += dx[i][k] * dx[i][k];
+            }
+            max_norm = max_norm.max(d2.sqrt());
+        }
+        // trust radius: uniform rescale of step AND velocity
+        if max_norm > cfg.max_disp {
+            let s = cfg.max_disp / max_norm;
+            for i in 0..n {
+                for k in 0..3 {
+                    dx[i][k] *= s;
+                    self.v[i][k] *= s;
+                }
+            }
+        }
+        dx
+    }
+}
+
 /// Relaxation trajectory record.
 pub struct RelaxResult {
     /// Relaxed system.
     pub system: AtomicSystem,
     /// Last SCF result.
     pub scf: ScfResult,
-    /// (energy, max force) per accepted step.
+    /// (energy, max force) per accepted step, including the final
+    /// post-move evaluation.
     pub trajectory: Vec<(f64, f64)>,
     /// Whether the force tolerance was reached.
     pub converged: bool,
@@ -58,17 +162,14 @@ pub fn relax(
     xc: &dyn XcFunctional,
     scf_cfg: &ScfConfig,
     cfg: &RelaxConfig,
-) -> RelaxResult {
+) -> Result<RelaxResult, ForceError> {
     let mut sys = system.clone();
     let n = sys.atoms.len();
-    let mut v = vec![[0.0f64; 3]; n];
-    let mut dt = cfg.dt;
-    let mut n_pos = 0usize;
-    let mut alpha = 0.1;
+    let mut fire = FireState::new(n, cfg);
     let mut trajectory = Vec::new();
 
     let mut r = scf(space, &sys, xc, scf_cfg, &[KPoint::gamma()]);
-    let mut f = compute_forces(space, &sys, &r.density.values);
+    let mut f = compute_forces(space, &sys, &r.density.values)?;
     let mut converged = false;
 
     for _step in 0..cfg.max_steps {
@@ -78,54 +179,29 @@ pub fn relax(
             converged = true;
             break;
         }
-        // FIRE: P = F . v
-        let p: f64 = (0..n)
-            .map(|i| (0..3).map(|k| f[i][k] * v[i][k]).sum::<f64>())
-            .sum();
-        let fnorm: f64 = (0..n)
-            .map(|i| (0..3).map(|k| f[i][k] * f[i][k]).sum::<f64>())
-            .sum::<f64>()
-            .sqrt()
-            .max(1e-300);
-        let vnorm: f64 = (0..n)
-            .map(|i| (0..3).map(|k| v[i][k] * v[i][k]).sum::<f64>())
-            .sum::<f64>()
-            .sqrt();
-        if p > 0.0 {
-            for i in 0..n {
-                for k in 0..3 {
-                    v[i][k] = (1.0 - alpha) * v[i][k] + alpha * f[i][k] / fnorm * vnorm;
-                }
-            }
-            n_pos += 1;
-            if n_pos > 5 {
-                dt = (dt * 1.1).min(cfg.dt_max);
-                alpha *= 0.99;
-            }
-        } else {
-            v = vec![[0.0; 3]; n];
-            dt *= 0.5;
-            alpha = 0.1;
-            n_pos = 0;
-        }
-        // velocity Verlet (unit masses) with trust radius
+        let dx = fire.step(&f, cfg);
         for i in 0..n {
             for k in 0..3 {
-                v[i][k] += dt * f[i][k];
-                let mut dx = dt * v[i][k];
-                dx = dx.clamp(-cfg.max_disp, cfg.max_disp);
-                sys.atoms[i].pos[k] += dx;
+                sys.atoms[i].pos[k] += dx[i][k];
             }
         }
         r = scf(space, &sys, xc, scf_cfg, &[KPoint::gamma()]);
-        f = compute_forces(space, &sys, &r.density.values);
+        f = compute_forces(space, &sys, &r.density.values)?;
     }
-    RelaxResult {
+    if !converged {
+        // the loop exhausted max_steps: the SCF + forces computed after
+        // the last accepted move still need their convergence verdict and
+        // trajectory record (previously both were discarded)
+        let fmax = max_force(&f);
+        trajectory.push((r.energy.free_energy, fmax));
+        converged = fmax < cfg.force_tol;
+    }
+    Ok(RelaxResult {
         system: sys,
         scf: r,
         trajectory,
         converged,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -178,7 +254,7 @@ mod tests {
             force_tol: 2e-2,
             ..RelaxConfig::default()
         };
-        let out = relax(&space, &sys, &Lda, &scf_cfg, &relax_cfg);
+        let out = relax(&space, &sys, &Lda, &scf_cfg, &relax_cfg).expect("relax");
         // bond expanded
         let d_final = (out.system.atoms[1].pos[0] - out.system.atoms[0].pos[0]).abs();
         assert!(d_final > d0 + 0.05, "bond {d0} -> {d_final}");
@@ -187,5 +263,81 @@ mod tests {
         let (e1, f1) = *out.trajectory.last().unwrap();
         assert!(e1 < e0, "energy {e0} -> {e1}");
         assert!(f1 < f0, "max force {f0} -> {f1}");
+    }
+
+    /// Regression for the trust-radius bug: a steep force must produce a
+    /// step clamped by *norm* (direction preserved) with the velocity
+    /// rescaled to match the applied displacement exactly.
+    #[test]
+    fn trust_radius_clamps_by_norm_and_rescales_velocity() {
+        let cfg = RelaxConfig::default();
+        let mut fire = FireState::new(2, &cfg);
+        // steep, direction-mixing force: the old per-component clamp
+        // would saturate x and y at max_disp and bend the direction
+        let f = [[40.0, 10.0, 0.0], [-40.0, -10.0, 0.0]];
+        let dx = fire.step(&f, &cfg);
+        for i in 0..2 {
+            let norm = (0..3).map(|k| dx[i][k] * dx[i][k]).sum::<f64>().sqrt();
+            assert!(
+                norm <= cfg.max_disp * (1.0 + 1e-12),
+                "atom {i} step norm {norm} exceeds trust radius"
+            );
+            // direction preserved: dx parallel to f (v started at zero)
+            let cross = dx[i][0] * f[i][1] - dx[i][1] * f[i][0];
+            assert!(cross.abs() < 1e-12, "clamp bent the step direction");
+            // velocity consistent with the applied move: v == dx/dt
+            for k in 0..3 {
+                assert!(
+                    (fire.v[i][k] * fire.dt - dx[i][k]).abs() < 1e-14,
+                    "velocity inconsistent with applied displacement"
+                );
+            }
+        }
+        // and an unclamped gentle step is untouched (first step has
+        // P = 0 so FIRE halves dt before integrating: dx = (dt/2)^2 f)
+        let mut fire2 = FireState::new(1, &cfg);
+        let g = [[0.1, 0.0, 0.0]];
+        let dx2 = fire2.step(&g, &cfg);
+        let dt_h = cfg.dt * 0.5;
+        assert!((dx2[0][0] - dt_h * dt_h * 0.1).abs() < 1e-15);
+    }
+
+    /// Regression for the missing final-step convergence check: a run
+    /// whose force drops below tolerance only after the last allowed move
+    /// must still report converged, and the trajectory must include the
+    /// final evaluation. `max_steps: 0` isolates the post-loop path.
+    #[test]
+    fn final_step_convergence_is_evaluated() {
+        let l = 10.0;
+        let s = FeSpace::new(Mesh3d::cube(4, l, 4));
+        let sys = AtomicSystem::new(vec![Atom {
+            kind: AtomKind::Pseudo { z: 2.0, r_c: 0.8 },
+            pos: [l / 2.0; 3],
+        }]);
+        let scf_cfg = ScfConfig {
+            n_states: 4,
+            kt: 0.02,
+            tol: 1e-6,
+            max_iter: 40,
+            cheb_degree: 30,
+            first_iter_cf_passes: 5,
+            ..ScfConfig::default()
+        };
+        let relax_cfg = RelaxConfig {
+            max_steps: 0,
+            force_tol: 5e-3, // symmetric atom: force ~ 0
+            ..RelaxConfig::default()
+        };
+        let out = relax(&s, &sys, &Lda, &scf_cfg, &relax_cfg).expect("relax");
+        assert_eq!(
+            out.trajectory.len(),
+            1,
+            "final evaluation missing from trajectory"
+        );
+        assert!(
+            out.converged,
+            "convergence not evaluated after the last step (fmax {})",
+            out.trajectory[0].1
+        );
     }
 }

@@ -24,10 +24,20 @@
 //! * [`checkpoint`] — versioned, checksummed per-rank SCF snapshots
 //!   (density, wavefunction shards, mixer history, chemical potential)
 //!   written atomically every `checkpoint_every` iterations;
-//! * [`recover`] — the restart driver: on rank loss the survivors return
+//! * [`recover`] — the restart drivers: on rank loss the survivors return
 //!   [`ScfError::RankLost`] within the communicator deadline (never a
-//!   hang), and [`scf_with_recovery`] relaunches from the newest complete
-//!   snapshot at a reduced rank count.
+//!   hang), and [`scf_with_recovery`] / [`relax_with_recovery`] relaunch
+//!   from the newest complete snapshot at a reduced rank count;
+//! * [`forces`] — distributed Hellmann-Feynman force assembly: replicated
+//!   force Poisson solve, owned-node electrostatic quadrature plus a
+//!   rank-sharded ion-ion image sum, reassembled by one fixed-rank-order
+//!   allreduce (bit-identical across ranks and repeated runs);
+//! * [`relax`] — distributed FIRE relaxation and velocity-Verlet BO-MD
+//!   with wavefunction extrapolation: each geometry step's SCF
+//!   warm-starts from the previous step's converged density, mixer
+//!   history, and psi shards through the checkpoint/`restart_from`
+//!   machinery, with a checksummed integrator-state file making the whole
+//!   trajectory preemptible and fault-recoverable.
 
 #![deny(unsafe_code)]
 // indexed loops deliberately mirror the paper's subscript notation
@@ -35,18 +45,27 @@
 
 pub mod checkpoint;
 pub mod decomp;
+pub mod forces;
 pub mod grid;
 pub mod operator;
 pub mod recover;
 pub mod reduce;
+pub mod relax;
 pub mod scf;
 
 pub use checkpoint::{LoadedCheckpoint, ReplicatedScfState};
 pub use decomp::Decomposition;
+pub use forces::{
+    distributed_forces, distributed_forces_profiled, DistForceError, ForceAssemblyProfile,
+};
 pub use grid::{GridShape, ProcessGrid};
 pub use operator::{
     ghost_tag_band, DistHamiltonian, DistSpace, PipelinedFilter, SharedComm, WireScalar,
 };
-pub use recover::{scf_with_recovery, RecoveryReport};
+pub use recover::{relax_with_recovery, scf_with_recovery, RecoveryReport, RelaxRecoveryReport};
 pub use reduce::{ClusterReducer, CommVolume, GridReducer};
+pub use relax::{
+    dist_md, dist_relax, DistMdResult, DistRelaxConfig, DistRelaxResult, MdConfig, MdStepRecord,
+    RelaxError, RelaxStepRecord,
+};
 pub use scf::{distributed_scf, DistScfConfig, DistScfResult, PreemptToken, ScfError};

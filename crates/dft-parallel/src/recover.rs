@@ -8,6 +8,7 @@
 //! from the checkpointed iteration and reconverges to the same free energy
 //! (bit-identical at the same rank count, to solver tolerance otherwise).
 
+use crate::relax::{dist_relax, DistRelaxConfig, DistRelaxResult, RelaxError};
 use crate::scf::{distributed_scf, DistScfConfig, DistScfResult, ScfError};
 use dft_core::scf::KPoint;
 use dft_core::system::AtomicSystem;
@@ -123,6 +124,116 @@ pub fn scf_with_recovery<X: XcFunctional + Sync>(
         // relaunch pins the 1D slab layout explicitly (checkpoints reshard
         // across grid shapes, and an ambient DFT_GRID knob must not apply
         // to a shrunk cluster it cannot tile)
+        current.faults = Arc::new(FaultPlan::default());
+        cfg_attempt.restart = true;
+        cfg_attempt.grid = Some(crate::grid::GridShape::slab(n));
+    }
+}
+
+/// What [`relax_with_recovery`] did to finish the relaxation.
+pub struct RelaxRecoveryReport {
+    /// Per-rank results of the *successful* attempt, in rank order.
+    pub results: Vec<DistRelaxResult>,
+    /// Cluster launches performed (1 = no failure).
+    pub attempts: usize,
+    /// Rank count of the first launch.
+    pub initial_nranks: usize,
+    /// Rank count of the successful launch.
+    pub final_nranks: usize,
+    /// The first per-rank error observed, if any attempt failed.
+    pub first_failure: Option<RelaxError>,
+}
+
+/// [`scf_with_recovery`]'s sibling for the distributed relaxation driver:
+/// run [`dist_relax`] under `opts`, and on rank loss relaunch with the
+/// dead ranks removed. The relaunch resumes the *geometry* loop from the
+/// persisted relax state and the interrupted step's SCF from its newest
+/// complete snapshot — so a fault mid-trajectory repeats at most one
+/// step's un-checkpointed SCF iterations, not the whole relaxation.
+///
+/// Preemption, checkpoint-store, and force-evaluation failures pass
+/// through untouched: none of them is fixed by relaunching.
+#[allow(clippy::too_many_arguments)]
+pub fn relax_with_recovery<X: XcFunctional + Sync>(
+    nranks: usize,
+    opts: &ClusterOptions,
+    space: &FeSpace,
+    system: &AtomicSystem,
+    xc: &X,
+    cfg: &DistScfConfig,
+    relax_cfg: &DistRelaxConfig,
+    kpts: &[KPoint],
+    max_restarts: usize,
+) -> Result<RelaxRecoveryReport, RelaxError> {
+    assert!(nranks >= 1);
+    let mut n = nranks;
+    let mut attempts = 0;
+    let mut first_failure: Option<RelaxError> = None;
+    let mut current = ClusterOptions {
+        timeout: opts.timeout,
+        faults: Arc::clone(&opts.faults),
+    };
+    let mut cfg_attempt = cfg.clone();
+
+    loop {
+        attempts += 1;
+        let (results, _) = run_cluster_with(n, &current, |comm| {
+            dist_relax(comm, space, system, xc, &cfg_attempt, relax_cfg, kpts)
+        });
+
+        let mut ok = Vec::with_capacity(n);
+        let mut dead = 0usize;
+        let mut attempt_error: Option<RelaxError> = None;
+        for r in results {
+            match r {
+                Ok(res) => ok.push(res),
+                Err(e) => {
+                    if matches!(
+                        e,
+                        RelaxError::Scf(ScfError::RankLost {
+                            cause: CommError::Killed { .. },
+                            ..
+                        }) | RelaxError::Comm(CommError::Killed { .. })
+                    ) {
+                        dead += 1;
+                    }
+                    if attempt_error.is_none() {
+                        attempt_error = Some(e.clone());
+                    }
+                }
+            }
+        }
+
+        let Some(err) = attempt_error else {
+            return Ok(RelaxRecoveryReport {
+                results: ok,
+                attempts,
+                initial_nranks: nranks,
+                final_nranks: n,
+                first_failure,
+            });
+        };
+        if first_failure.is_none() {
+            first_failure = Some(err.clone());
+        }
+        // preemption is a scheduling decision the caller resumes itself;
+        // a broken snapshot store or a diverged force Poisson solve stays
+        // broken across relaunches
+        if matches!(
+            err,
+            RelaxError::Scf(ScfError::Checkpoint { .. } | ScfError::Preempted { .. })
+                | RelaxError::Force(_)
+        ) {
+            return Err(err);
+        }
+        let drop_ranks = dead.max(1);
+        if attempts > max_restarts || n <= drop_ranks {
+            return Err(err);
+        }
+        n -= drop_ranks;
+        // fault-free relaunch on the 1D slab (as in `scf_with_recovery`);
+        // `restart` re-enters both the relax state and the interrupted
+        // step's SCF snapshots
         current.faults = Arc::new(FaultPlan::default());
         cfg_attempt.restart = true;
         cfg_attempt.grid = Some(crate::grid::GridShape::slab(n));

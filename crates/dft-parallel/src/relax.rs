@@ -1,0 +1,628 @@
+//! Distributed FIRE relaxation and Born-Oppenheimer MD with wavefunction
+//! extrapolation.
+//!
+//! The geometry loop runs *replicated*: every rank holds the full atom
+//! set and the full [`FireState`], feeds them the bit-identical forces
+//! from [`distributed_forces`](crate::forces::distributed_forces), and
+//! therefore moves the atoms identically with zero extra communication —
+//! the same replicate-the-cheap-state pattern the SCF uses for nodal
+//! fields.
+//!
+//! Between geometry steps the SCF is *warm-started* from the previous
+//! step's converged state — density, Anderson mixer history, filter
+//! windows, and wavefunction shards — via the existing checkpoint
+//! machinery (the format's second customer after fault recovery): each
+//! step exports its converged state with `final_state_dir` into a shared
+//! `relax-warm` directory, and the next step reads it back with
+//! `restart_from`. For the small moves of a relaxation the previous
+//! subspace is an excellent initial guess (zeroth-order wavefunction
+//! extrapolation), so warm steps skip the first-iteration multi-pass
+//! filtering and reconverge in a fraction of a cold SCF's iterations.
+//!
+//! The driver itself is preemptible and fault-recoverable: after each
+//! applied move, rank 0 persists the integrator state (positions,
+//! velocities, adaptive knobs, trajectory) to a checksummed `relax_state`
+//! file next to the snapshots, atomically. A relaunch with `restart` set
+//! reloads it, resumes at the interrupted step, and picks up that step's
+//! own preemption/periodic SCF snapshots — so a preempted 300-step
+//! relaxation loses at most the SCF iterations since the last snapshot.
+
+use crate::forces::{distributed_forces, DistForceError};
+use crate::grid::GridShape;
+use crate::scf::{distributed_scf, performed_iterations, DistScfConfig, DistScfResult, ScfError};
+use dft_core::forces::{max_force, ForceError};
+use dft_core::relax::{FireState, RelaxConfig};
+use dft_core::scf::KPoint;
+use dft_core::system::AtomicSystem;
+use dft_core::xc::XcFunctional;
+use dft_fem::space::FeSpace;
+use dft_hpc::comm::{CommError, ThreadComm};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Why a distributed relaxation (or MD run) stopped early.
+#[derive(Clone, Debug)]
+pub enum RelaxError {
+    /// An SCF step failed or was preempted; `ScfError::Preempted` is the
+    /// cooperative-stop path — the relax state on disk resumes the run.
+    Scf(ScfError),
+    /// A force evaluation failed (diverged force Poisson solve).
+    Force(ForceError),
+    /// The force reduction lost a peer outside the SCF.
+    Comm(CommError),
+}
+
+impl std::fmt::Display for RelaxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelaxError::Scf(e) => write!(f, "relaxation SCF failed: {e}"),
+            RelaxError::Force(e) => write!(f, "relaxation force evaluation failed: {e}"),
+            RelaxError::Comm(e) => write!(f, "relaxation communication failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelaxError {}
+
+impl From<ScfError> for RelaxError {
+    fn from(e: ScfError) -> Self {
+        RelaxError::Scf(e)
+    }
+}
+
+impl From<DistForceError> for RelaxError {
+    fn from(e: DistForceError) -> Self {
+        match e {
+            DistForceError::Force(fe) => RelaxError::Force(fe),
+            DistForceError::Comm(ce) => RelaxError::Comm(ce),
+        }
+    }
+}
+
+/// Distributed relaxation knobs on top of the serial FIRE parameters.
+#[derive(Clone, Debug)]
+pub struct DistRelaxConfig {
+    /// FIRE parameters (identical semantics to the serial driver).
+    pub fire: RelaxConfig,
+    /// Warm-start each step's SCF from the previous step's converged
+    /// state (density + mixer history + psi shards). Requires a
+    /// `checkpoint_dir` on the SCF config to hold the snapshots; without
+    /// one every step runs cold. `false` forces cold steps (the
+    /// benchmark's control arm).
+    pub warm_start: bool,
+}
+
+impl Default for DistRelaxConfig {
+    fn default() -> Self {
+        Self {
+            fire: RelaxConfig::default(),
+            warm_start: true,
+        }
+    }
+}
+
+/// One geometry step's record in a distributed relaxation trajectory.
+#[derive(Clone, Copy, Debug)]
+pub struct RelaxStepRecord {
+    /// Free energy at this geometry (replicated).
+    pub free_energy: f64,
+    /// Largest force component at this geometry.
+    pub fmax: f64,
+    /// SCF iterations this step's electronic solve *performed* (net of
+    /// the snapshot label it warm-resumed from) — the quantity the
+    /// warm-vs-cold benchmark compares.
+    pub scf_iterations: usize,
+    /// Whether the step's SCF actually resumed from a warm snapshot.
+    pub warm_started: bool,
+}
+
+/// Outcome of a distributed relaxation on one rank. Everything except
+/// `scf` (whose profile/comm members are per-rank) is replicated.
+pub struct DistRelaxResult {
+    /// Relaxed system.
+    pub system: AtomicSystem,
+    /// The final geometry's SCF result.
+    pub scf: DistScfResult,
+    /// Per-evaluation records, including the final post-move evaluation.
+    pub trajectory: Vec<RelaxStepRecord>,
+    /// Whether the force tolerance was reached.
+    pub converged: bool,
+    /// The geometry step this run resumed from (`None` = fresh start).
+    pub resumed_step: Option<usize>,
+}
+
+/// Outcome of a distributed BO-MD run on one rank.
+pub struct DistMdResult {
+    /// Final system (positions after the last step).
+    pub system: AtomicSystem,
+    /// The final geometry's SCF result.
+    pub scf: DistScfResult,
+    /// Per-evaluation records.
+    pub trajectory: Vec<MdStepRecord>,
+}
+
+/// Velocity-Verlet BO-MD knobs (unit masses, zero initial velocities).
+#[derive(Clone, Debug)]
+pub struct MdConfig {
+    /// Number of MD steps.
+    pub steps: usize,
+    /// Time step (atomic units).
+    pub dt: f64,
+    /// Warm-start each step's SCF from the previous step's state.
+    pub warm_start: bool,
+}
+
+impl Default for MdConfig {
+    fn default() -> Self {
+        Self {
+            steps: 5,
+            dt: 0.5,
+            warm_start: true,
+        }
+    }
+}
+
+/// One MD step's record.
+#[derive(Clone, Copy, Debug)]
+pub struct MdStepRecord {
+    /// Potential (free) energy at this geometry.
+    pub free_energy: f64,
+    /// Kinetic energy of the (unit-mass) ions.
+    pub kinetic: f64,
+    /// Conserved-ish total: potential + kinetic.
+    pub total: f64,
+    /// Largest force component.
+    pub fmax: f64,
+    /// SCF iterations this step's electronic solve took.
+    pub scf_iterations: usize,
+    /// Whether the step's SCF resumed from a warm snapshot.
+    pub warm_started: bool,
+}
+
+// ---- relax-state persistence -------------------------------------------
+// A tiny checksummed binary (same conventions as `checkpoint`: magic,
+// version, FNV-1a trailer, atomic tmp+rename) holding the geometry-loop
+// state between SCF snapshots. Rank 0 writes it after every applied move;
+// any later relaunch reads it back identically on every rank, so the
+// resume decision needs no communication. A missing or corrupt file
+// degrades to a fresh start — it is an optimization, the physics does not
+// depend on it.
+
+const RELAX_MAGIC: &[u8; 8] = b"DFTRELX1";
+
+struct RelaxState {
+    step: usize,
+    positions: Vec<[f64; 3]>,
+    fire: FireState,
+    trajectory: Vec<RelaxStepRecord>,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn state_path(root: &Path) -> PathBuf {
+    root.join("relax_state.v1")
+}
+
+fn write_relax_state(root: &Path, st: &RelaxState) -> io::Result<()> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(RELAX_MAGIC);
+    push_u64(&mut buf, st.step as u64);
+    push_u64(&mut buf, st.positions.len() as u64);
+    for p in &st.positions {
+        for k in 0..3 {
+            push_f64(&mut buf, p[k]);
+        }
+    }
+    push_f64(&mut buf, st.fire.dt);
+    push_f64(&mut buf, st.fire.alpha);
+    push_u64(&mut buf, st.fire.n_pos as u64);
+    for v in &st.fire.v {
+        for k in 0..3 {
+            push_f64(&mut buf, v[k]);
+        }
+    }
+    push_u64(&mut buf, st.trajectory.len() as u64);
+    for r in &st.trajectory {
+        push_f64(&mut buf, r.free_energy);
+        push_f64(&mut buf, r.fmax);
+        push_u64(&mut buf, r.scf_iterations as u64);
+        push_u64(&mut buf, u64::from(r.warm_started));
+    }
+    let ck = fnv1a(&buf);
+    push_u64(&mut buf, ck);
+    fs::create_dir_all(root)?;
+    let tmp = root.join("relax_state.v1.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, state_path(root))
+}
+
+/// Byte-cursor reader; any structural problem returns `None` (degrade to
+/// fresh start), mirroring the warm-start hint semantics.
+struct Cur<'a>(&'a [u8], usize);
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.0.get(self.1..self.1 + n)?;
+        self.1 += n;
+        Some(s)
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+fn load_relax_state(root: &Path, n_atoms: usize) -> Option<RelaxState> {
+    let bytes = fs::read(state_path(root)).ok()?;
+    if bytes.len() < RELAX_MAGIC.len() + 8 {
+        return None;
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().ok()?);
+    if fnv1a(body) != stored {
+        return None;
+    }
+    let mut c = Cur(body, 0);
+    if c.take(8)? != RELAX_MAGIC {
+        return None;
+    }
+    let step = c.u64()? as usize;
+    let n = c.u64()? as usize;
+    if n != n_atoms {
+        return None;
+    }
+    let mut positions = vec![[0.0; 3]; n];
+    for p in positions.iter_mut() {
+        for k in 0..3 {
+            p[k] = c.f64()?;
+        }
+    }
+    let dt = c.f64()?;
+    let alpha = c.f64()?;
+    let n_pos = c.u64()? as usize;
+    let mut v = vec![[0.0; 3]; n];
+    for vi in v.iter_mut() {
+        for k in 0..3 {
+            vi[k] = c.f64()?;
+        }
+    }
+    let n_rec = c.u64()? as usize;
+    if n_rec > step + 1 {
+        return None;
+    }
+    let mut trajectory = Vec::with_capacity(n_rec);
+    for _ in 0..n_rec {
+        trajectory.push(RelaxStepRecord {
+            free_energy: c.f64()?,
+            fmax: c.f64()?,
+            scf_iterations: c.u64()? as usize,
+            warm_started: c.u64()? != 0,
+        });
+    }
+    Some(RelaxState {
+        step,
+        positions,
+        fire: FireState {
+            v,
+            dt,
+            alpha,
+            n_pos,
+        },
+        trajectory,
+    })
+}
+
+/// Per-step SCF config: snapshots go to this step's own directory (so a
+/// preempted step resumes from *its* checkpoints, never a stale earlier
+/// step's), while the warm-start hint reads — and the converged export
+/// writes — the shared `relax-warm` slot. `distributed_scf`'s
+/// newest-complete-snapshot-wins rule arbitrates between the two on
+/// resume.
+fn step_cfg(
+    scf_cfg: &DistScfConfig,
+    root: Option<&Path>,
+    step: usize,
+    warm: bool,
+    first: bool,
+    resume: bool,
+    label: &str,
+) -> DistScfConfig {
+    let mut cfg = scf_cfg.clone();
+    if let Some(root) = root {
+        cfg.checkpoint_dir = Some(root.join(format!("{label}-step-{step:04}")));
+        cfg.final_state_dir = Some(root.join("relax-warm"));
+        // warm source: the trajectory's own `relax-warm` slot once it
+        // exists; before that, the very first evaluation may still use
+        // the caller's `restart_from` hint (e.g. a converged-state cache
+        // entry for this geometry family)
+        cfg.restart_from = if warm {
+            Some(root.join("relax-warm"))
+        } else if first {
+            scf_cfg.restart_from.clone()
+        } else {
+            None
+        };
+        cfg.restart = resume || cfg.restart_from.is_some();
+    } else {
+        cfg.restart = false;
+        cfg.restart_from = None;
+        cfg.final_state_dir = None;
+    }
+    cfg
+}
+
+/// Best-effort pruning of a finished step's snapshot directory (its warm
+/// value now lives in `relax-warm`; keeping every step's psi shards would
+/// grow the job root linearly with trajectory length).
+fn prune_step_dir(root: Option<&Path>, step: usize, label: &str) {
+    if let Some(root) = root {
+        let _ = fs::remove_dir_all(root.join(format!("{label}-step-{step:04}")));
+    }
+}
+
+/// Distributed FIRE relaxation. Call from every rank of a cluster with
+/// identical arguments; the returned trajectory, positions, and
+/// convergence flag are replicated bit-identically.
+///
+/// `scf_cfg.checkpoint_dir` doubles as the relaxation root: per-step SCF
+/// snapshots, the `relax-warm` warm-start slot, and the `relax_state.v1`
+/// integrator state all live under it. `scf_cfg.restart` resumes an
+/// interrupted relaxation from that state; `scf_cfg.preempt` preempts the
+/// in-flight SCF step cooperatively (the driver surfaces
+/// [`ScfError::Preempted`] after the step's snapshot and the relax state
+/// are both on disk).
+pub fn dist_relax(
+    comm: &mut ThreadComm,
+    space: &FeSpace,
+    system: &AtomicSystem,
+    xc: &dyn XcFunctional,
+    scf_cfg: &DistScfConfig,
+    relax_cfg: &DistRelaxConfig,
+    kpts: &[KPoint],
+) -> Result<DistRelaxResult, RelaxError> {
+    let rank = comm.rank();
+    let root = scf_cfg.checkpoint_dir.clone();
+    let root = root.as_deref();
+    let cfg = &relax_cfg.fire;
+    let n = system.atoms.len();
+
+    let mut sys = system.clone();
+    let mut fire = FireState::new(n, cfg);
+    let mut trajectory: Vec<RelaxStepRecord> = Vec::new();
+    let mut start_step = 0usize;
+    let mut resumed_step = None;
+
+    // resume an interrupted relaxation: every rank reads the same bytes,
+    // so the decision is identical cluster-wide without communication
+    if scf_cfg.restart {
+        if let Some(st) = root.and_then(|r| load_relax_state(r, n)) {
+            for (a, p) in sys.atoms.iter_mut().zip(&st.positions) {
+                a.pos = *p;
+            }
+            fire = st.fire;
+            trajectory = st.trajectory;
+            start_step = st.step;
+            resumed_step = Some(st.step);
+        }
+    }
+
+    let warm_dir_has_state =
+        |root: Option<&Path>| root.is_some_and(|r| r.join("relax-warm").exists());
+
+    let evaluate = |comm: &mut ThreadComm,
+                    sys: &AtomicSystem,
+                    step: usize,
+                    resume: bool|
+     -> Result<(DistScfResult, Vec<[f64; 3]>, bool), RelaxError> {
+        let warm = relax_cfg.warm_start && warm_dir_has_state(root);
+        let cfg_step = step_cfg(
+            scf_cfg,
+            root,
+            step,
+            warm,
+            step == start_step,
+            resume,
+            "fire",
+        );
+        let r = distributed_scf(comm, space, sys, xc, &cfg_step, kpts)?;
+        let f = distributed_forces(
+            comm,
+            space,
+            sys,
+            &r.density.values,
+            cfg_step.grid.or_else(GridShape::from_env),
+        )?;
+        let warm_started = r.resumed_from.is_some() && cfg_step.restart_from.is_some();
+        Ok((r, f, warm_started))
+    };
+
+    // persist the integrator state *before* each evaluation: a
+    // preemption or rank loss inside evaluate(step) then resumes at
+    // exactly this step with the already-applied positions
+    let persist = |rank: usize,
+                   step: usize,
+                   sys: &AtomicSystem,
+                   fire: &FireState,
+                   traj: &[RelaxStepRecord]| {
+        if rank == 0 {
+            if let Some(root) = root {
+                let _ = write_relax_state(
+                    root,
+                    &RelaxState {
+                        step,
+                        positions: sys.atoms.iter().map(|a| a.pos).collect(),
+                        fire: fire.clone(),
+                        trajectory: traj.to_vec(),
+                    },
+                );
+            }
+        }
+    };
+
+    persist(rank, start_step, &sys, &fire, &trajectory);
+    let (mut r, mut f, mut warm) = evaluate(
+        comm,
+        &sys,
+        start_step,
+        scf_cfg.restart && resumed_step.is_some(),
+    )?;
+    let mut converged = false;
+    let mut step = start_step;
+    loop {
+        // every evaluation — including the one after the final allowed
+        // move — gets its trajectory record and its convergence verdict
+        // here, so a run converging exactly at `max_steps` reports it
+        let fmax = max_force(&f);
+        trajectory.push(RelaxStepRecord {
+            free_energy: r.energy.free_energy,
+            fmax,
+            scf_iterations: performed_iterations(r.iterations, r.resumed_from),
+            warm_started: warm,
+        });
+        if fmax < cfg.force_tol {
+            converged = true;
+            break;
+        }
+        if step >= start_step.max(cfg.max_steps) {
+            break;
+        }
+        let dx = fire.step(&f, cfg);
+        for i in 0..n {
+            for k in 0..3 {
+                sys.atoms[i].pos[k] += dx[i][k];
+            }
+        }
+        let prev = step;
+        step += 1;
+        persist(rank, step, &sys, &fire, &trajectory);
+        let out = evaluate(comm, &sys, step, false)?;
+        if rank == 0 {
+            prune_step_dir(root, prev, "fire");
+        }
+        (r, f, warm) = out;
+    }
+    persist(rank, step, &sys, &fire, &trajectory);
+    Ok(DistRelaxResult {
+        system: sys,
+        scf: r,
+        trajectory,
+        converged,
+        resumed_step,
+    })
+}
+
+/// Minimal distributed Born-Oppenheimer MD: velocity-Verlet with unit
+/// masses and zero initial velocities, each step's SCF warm-started from
+/// the previous step's converged state. Replicated like [`dist_relax`];
+/// no mid-run persistence (MD runs are short and restartable from their
+/// initial conditions).
+pub fn dist_md(
+    comm: &mut ThreadComm,
+    space: &FeSpace,
+    system: &AtomicSystem,
+    xc: &dyn XcFunctional,
+    scf_cfg: &DistScfConfig,
+    md_cfg: &MdConfig,
+    kpts: &[KPoint],
+) -> Result<DistMdResult, RelaxError> {
+    let rank = comm.rank();
+    let root = scf_cfg.checkpoint_dir.clone();
+    let root = root.as_deref();
+    let n = system.atoms.len();
+    let mut sys = system.clone();
+    let mut v = vec![[0.0f64; 3]; n];
+    let dt = md_cfg.dt;
+    let mut trajectory = Vec::with_capacity(md_cfg.steps + 1);
+
+    let warm_dir_has_state =
+        |root: Option<&Path>| root.is_some_and(|r| r.join("relax-warm").exists());
+    let evaluate = |comm: &mut ThreadComm,
+                    sys: &AtomicSystem,
+                    step: usize|
+     -> Result<(DistScfResult, Vec<[f64; 3]>, bool), RelaxError> {
+        let warm = md_cfg.warm_start && warm_dir_has_state(root);
+        let cfg_step = step_cfg(scf_cfg, root, step, warm, step == 0, false, "md");
+        let r = distributed_scf(comm, space, sys, xc, &cfg_step, kpts)?;
+        let f = distributed_forces(
+            comm,
+            space,
+            sys,
+            &r.density.values,
+            cfg_step.grid.or_else(GridShape::from_env),
+        )?;
+        let warm_started = r.resumed_from.is_some() && cfg_step.restart_from.is_some();
+        Ok((r, f, warm_started))
+    };
+
+    let (mut r, mut f, mut warm) = evaluate(comm, &sys, 0)?;
+    for step in 0..md_cfg.steps {
+        let kinetic: f64 = 0.5
+            * v.iter()
+                .map(|vi| vi.iter().map(|&c| c * c).sum::<f64>())
+                .sum::<f64>();
+        trajectory.push(MdStepRecord {
+            free_energy: r.energy.free_energy,
+            kinetic,
+            total: r.energy.free_energy + kinetic,
+            fmax: max_force(&f),
+            scf_iterations: performed_iterations(r.iterations, r.resumed_from),
+            warm_started: warm,
+        });
+        // velocity Verlet: half-kick, drift, re-evaluate, half-kick
+        for i in 0..n {
+            for k in 0..3 {
+                v[i][k] += 0.5 * dt * f[i][k];
+                sys.atoms[i].pos[k] += dt * v[i][k];
+            }
+        }
+        let out = evaluate(comm, &sys, step + 1)?;
+        if rank == 0 {
+            prune_step_dir(root, step, "md");
+        }
+        (r, f, warm) = out;
+        for i in 0..n {
+            for k in 0..3 {
+                v[i][k] += 0.5 * dt * f[i][k];
+            }
+        }
+    }
+    let kinetic: f64 = 0.5
+        * v.iter()
+            .map(|vi| vi.iter().map(|&c| c * c).sum::<f64>())
+            .sum::<f64>();
+    trajectory.push(MdStepRecord {
+        free_energy: r.energy.free_energy,
+        kinetic,
+        total: r.energy.free_energy + kinetic,
+        fmax: max_force(&f),
+        scf_iterations: r.iterations,
+        warm_started: warm,
+    });
+    Ok(DistMdResult {
+        system: sys,
+        scf: r,
+        trajectory,
+    })
+}

@@ -551,9 +551,19 @@ fn dist_scf_impl<T: ScalarExt>(
             if let Some(loaded) = loaded {
                 rho_in = loaded.state.rho_in.clone();
                 mu = loaded.state.mu;
-                mixer.restore_history(loaded.state.mixer_history.clone());
+                // A `restart_from` hint is a *different* problem's converged
+                // state (a cache entry, or the previous geometry of a
+                // relaxation): its density/subspace/windows are excellent
+                // initial guesses, but its Anderson residual pairs point at
+                // the OLD fixed point and measurably slow reconvergence at
+                // the new one, so the mixer (and the reported residual
+                // history) start fresh. Own-checkpoint resumes are the same
+                // SCF continuing and restore both.
+                if !warm_hint {
+                    mixer.restore_history(loaded.state.mixer_history.clone());
+                    residual_history = loaded.state.residual_history.clone();
+                }
                 filter_window = loaded.state.filter_windows.clone();
-                residual_history = loaded.state.residual_history.clone();
                 for ik in k0..k1 {
                     let full = &loaded.psi_full[ik];
                     for j in 0..base.n_states {
@@ -1017,4 +1027,13 @@ fn snapshot_cluster<T: ScalarExt>(
 /// finished run (e.g. benchmarks reporting rows per rank).
 pub fn decomposition_of(space: &FeSpace, rank: usize, nranks: usize) -> Decomposition {
     Decomposition::new(space, rank, nranks)
+}
+
+/// SCF iterations a run *performed*, net of the snapshot label it resumed
+/// from. Saturating: a warm resume that converges immediately can report
+/// `iterations <= resumed_from` (the converged-state export is labeled
+/// iteration 1, and `iterations` counts from the resumed label), and the
+/// accounting must floor at zero instead of wrapping.
+pub fn performed_iterations(iterations: usize, resumed_from: Option<usize>) -> usize {
+    iterations.saturating_sub(resumed_from.unwrap_or(0))
 }

@@ -1,0 +1,285 @@
+//! Oracle tests for the distributed force assembly and the distributed
+//! FIRE driver: every rank's [`distributed_forces`] output is checked
+//! against the serial [`compute_forces`] on periodic and Dirichlet
+//! goldens, across rank counts and process-grid shapes, for bitwise
+//! run-to-run determinism (L004), and the full `dist_relax` trajectory is
+//! checked against the serial `relax` driver.
+
+use dft_core::forces::compute_forces;
+use dft_core::relax::{relax, RelaxConfig};
+use dft_core::scf::{KPoint, ScfConfig};
+use dft_core::system::{Atom, AtomKind, AtomicSystem};
+use dft_core::xc::Lda;
+use dft_fem::mesh::Mesh3d;
+use dft_fem::space::FeSpace;
+use dft_hpc::comm::run_cluster;
+use dft_parallel::{dist_relax, distributed_forces, DistRelaxConfig, DistScfConfig, GridShape};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Three asymmetric smeared ions — no force component is accidentally
+/// zero, so a sign or partition bug cannot hide behind symmetry.
+fn force_system() -> AtomicSystem {
+    AtomicSystem::new(vec![
+        Atom {
+            kind: AtomKind::Pseudo { z: 2.0, r_c: 0.8 },
+            pos: [1.3, 2.0, 2.0],
+        },
+        Atom {
+            kind: AtomKind::Pseudo { z: 1.0, r_c: 0.7 },
+            pos: [2.7, 2.1, 1.8],
+        },
+        Atom {
+            kind: AtomKind::Pseudo { z: 1.0, r_c: 0.7 },
+            pos: [2.0, 1.1, 2.9],
+        },
+    ])
+}
+
+fn max_component_err(a: &[[f64; 3]], b: &[[f64; 3]]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let mut err: f64 = 0.0;
+    for (fa, fb) in a.iter().zip(b.iter()) {
+        for k in 0..3 {
+            err = err.max((fa[k] - fb[k]).abs());
+        }
+    }
+    err
+}
+
+/// Distributed forces at `nranks` (slab grid) against the serial
+/// assembly: every rank must agree to 1e-12 per component.
+fn check_force_oracle(space: &FeSpace, sys: &AtomicSystem, rho_e: &[f64], nranks: usize) {
+    let f_ref = compute_forces(space, sys, rho_e).expect("serial forces");
+    let (results, _) = run_cluster(nranks, |comm| {
+        distributed_forces(comm, space, sys, rho_e, None).expect("dist forces")
+    });
+    for (r, f) in results.iter().enumerate() {
+        let e = max_component_err(f, &f_ref);
+        assert!(e <= 1e-12, "rank {r}/{nranks}: force error {e:.3e}");
+    }
+}
+
+#[test]
+fn distributed_forces_match_serial_periodic() {
+    let space = FeSpace::new(Mesh3d::periodic_cube(2, 4.0, 3));
+    let sys = force_system();
+    let rho_e = sys.initial_density(&space);
+    for nranks in [2, 4] {
+        check_force_oracle(&space, &sys, &rho_e, nranks);
+    }
+}
+
+#[test]
+fn distributed_forces_match_serial_dirichlet() {
+    let space = FeSpace::new(Mesh3d::cube(2, 4.0, 3));
+    let sys = force_system();
+    let rho_e = sys.initial_density(&space);
+    for nranks in [2, 4] {
+        check_force_oracle(&space, &sys, &rho_e, nranks);
+    }
+}
+
+/// Band- and k-replicated grid shapes must count every owned node exactly
+/// once: the masked electrostatic partials tile the serial sum no matter
+/// how the 4 ranks are factored.
+#[test]
+fn distributed_forces_match_serial_across_grid_shapes() {
+    let space = FeSpace::new(Mesh3d::periodic_cube(2, 4.0, 3));
+    let sys = force_system();
+    let rho_e = sys.initial_density(&space);
+    let f_ref = compute_forces(&space, &sys, &rho_e).expect("serial forces");
+    for shape in [
+        GridShape::new(4, 1, 1),
+        GridShape::new(2, 2, 1),
+        GridShape::new(1, 2, 2),
+    ] {
+        let (results, _) = run_cluster(4, |comm| {
+            distributed_forces(comm, &space, &sys, &rho_e, Some(shape)).expect("dist forces")
+        });
+        for (r, f) in results.iter().enumerate() {
+            let e = max_component_err(f, &f_ref);
+            assert!(e <= 1e-12, "grid {shape:?} rank {r}: force error {e:.3e}");
+        }
+    }
+}
+
+/// The fixed-rank-order reduction makes repeated runs bit-identical and
+/// the replicated result identical on every rank (L004).
+#[test]
+fn repeated_force_runs_are_bit_identical() {
+    let space = FeSpace::new(Mesh3d::periodic_cube(2, 4.0, 3));
+    let sys = force_system();
+    let rho_e = sys.initial_density(&space);
+    let run = || {
+        let (results, _) = run_cluster(4, |comm| {
+            distributed_forces(comm, &space, &sys, &rho_e, Some(GridShape::new(2, 2, 1)))
+                .expect("dist forces")
+        });
+        results
+    };
+    let (a, b) = (run(), run());
+    for (r, f) in a.iter().enumerate() {
+        for (ai, (fa, f0)) in f.iter().zip(a[0].iter()).enumerate() {
+            for k in 0..3 {
+                assert_eq!(
+                    fa[k].to_bits(),
+                    f0[k].to_bits(),
+                    "rank {r} atom {ai} axis {k} differs from rank 0 within one run"
+                );
+            }
+        }
+    }
+    for (r, (fa, fb)) in a.iter().zip(b.iter()).enumerate() {
+        for (ai, (va, vb)) in fa.iter().zip(fb.iter()).enumerate() {
+            for k in 0..3 {
+                assert_eq!(
+                    va[k].to_bits(),
+                    vb[k].to_bits(),
+                    "rank {r} atom {ai} axis {k} differs between identical runs"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dist_relax vs serial relax
+// ---------------------------------------------------------------------------
+
+fn relax_system() -> (FeSpace, AtomicSystem) {
+    let space = FeSpace::new(Mesh3d::periodic_cube(2, 6.0, 3));
+    // an off-equilibrium dimer: nonzero forces drive a real FIRE move
+    let sys = AtomicSystem::new(vec![
+        Atom {
+            kind: AtomKind::Pseudo { z: 1.0, r_c: 0.7 },
+            pos: [2.1, 3.0, 3.0],
+        },
+        Atom {
+            kind: AtomKind::Pseudo { z: 1.0, r_c: 0.7 },
+            pos: [3.9, 3.0, 3.0],
+        },
+    ]);
+    (space, sys)
+}
+
+fn relax_scf_cfg() -> ScfConfig {
+    ScfConfig {
+        n_states: 4,
+        kt: 0.02,
+        tol: 1e-6,
+        max_iter: 60,
+        cheb_degree: 30,
+        first_iter_cf_passes: 5,
+        ..ScfConfig::default()
+    }
+}
+
+fn fresh_dir(label: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "dft-forces-{label}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+/// A cold (no warm-start) distributed relaxation must walk the same FIRE
+/// trajectory as the serial driver: same step count, matching energies
+/// and max-forces at every geometry, final energies to 1e-10 Ha.
+#[test]
+fn dist_relax_matches_serial_relax_trajectory() {
+    let (space, sys) = relax_system();
+    let scf_cfg = relax_scf_cfg();
+    let fire = RelaxConfig {
+        max_steps: 2,
+        ..RelaxConfig::default()
+    };
+
+    let r_ser = relax(&space, &sys, &Lda, &scf_cfg, &fire).expect("serial relax");
+    assert!(r_ser.scf.converged, "serial relax SCF did not converge");
+
+    let dcfg = DistScfConfig::new(scf_cfg);
+    let rcfg = DistRelaxConfig {
+        fire,
+        warm_start: false,
+    };
+    let (results, _) = run_cluster(2, |comm| {
+        dist_relax(comm, &space, &sys, &Lda, &dcfg, &rcfg, &[KPoint::gamma()]).expect("dist relax")
+    });
+    for r in &results {
+        assert_eq!(
+            r.trajectory.len(),
+            r_ser.trajectory.len(),
+            "trajectory step counts differ"
+        );
+        assert_eq!(r.converged, r_ser.converged, "convergence verdicts differ");
+        for (i, (rec, &(e_ser, fmax_ser))) in
+            r.trajectory.iter().zip(r_ser.trajectory.iter()).enumerate()
+        {
+            let de = (rec.free_energy - e_ser).abs();
+            assert!(de <= 1e-8, "step {i}: |dE| = {de:.3e}");
+            let df = (rec.fmax - fmax_ser).abs();
+            assert!(df <= 1e-8, "step {i}: |d fmax| = {df:.3e}");
+        }
+        let de = (r.scf.energy.free_energy - r_ser.scf.energy.free_energy).abs();
+        assert!(de <= 1e-10, "final relaxed energies differ by {de:.3e}");
+        for (ai, (a, b)) in r
+            .system
+            .atoms
+            .iter()
+            .zip(r_ser.system.atoms.iter())
+            .enumerate()
+        {
+            for k in 0..3 {
+                let dp = (a.pos[k] - b.pos[k]).abs();
+                assert!(dp <= 1e-8, "atom {ai} axis {k}: |dx| = {dp:.3e}");
+            }
+        }
+    }
+    // replicated trajectory agrees bitwise across the ranks of one run
+    for r in &results[1..] {
+        for (ra, r0) in r.trajectory.iter().zip(results[0].trajectory.iter()) {
+            assert_eq!(ra.free_energy.to_bits(), r0.free_energy.to_bits());
+            assert_eq!(ra.fmax.to_bits(), r0.fmax.to_bits());
+        }
+    }
+}
+
+/// With checkpoints enabled, every step after the first must warm-start
+/// from the previous step's converged state and reconverge in fewer SCF
+/// iterations than the cold first step.
+#[test]
+fn warm_started_relax_steps_reconverge_faster() {
+    let (space, sys) = relax_system();
+    let dir = fresh_dir("warm");
+    let dcfg = DistScfConfig::new(relax_scf_cfg()).with_checkpoints(&dir, 50);
+    let rcfg = DistRelaxConfig {
+        fire: RelaxConfig {
+            max_steps: 2,
+            force_tol: 0.0, // never converges: all steps must execute
+            ..RelaxConfig::default()
+        },
+        warm_start: true,
+    };
+    let (results, _) = run_cluster(2, |comm| {
+        dist_relax(comm, &space, &sys, &Lda, &dcfg, &rcfg, &[KPoint::gamma()]).expect("dist relax")
+    });
+    for r in &results {
+        assert_eq!(r.trajectory.len(), 3, "2 moves = 3 evaluations");
+        assert!(!r.trajectory[0].warm_started, "first step must run cold");
+        let cold = r.trajectory[0].scf_iterations;
+        for (i, rec) in r.trajectory.iter().enumerate().skip(1) {
+            assert!(rec.warm_started, "step {i} did not warm-start");
+            assert!(rec.scf_iterations > 0, "step {i} performed no iterations");
+            assert!(
+                rec.scf_iterations < cold,
+                "step {i}: warm {} !< cold {cold}",
+                rec.scf_iterations
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -36,11 +36,13 @@ pub enum Priority {
 pub enum JobKind {
     /// A single self-consistent ground-state solve.
     Scf,
-    /// Steepest-descent structural relaxation: `steps` rounds of
-    /// SCF-then-move with step length `gamma` (Bohr^2/Ha). Each round
-    /// warm-starts from the previous round's converged state.
+    /// FIRE structural relaxation driven by `dft_parallel::dist_relax`:
+    /// up to `steps` geometry steps with distributed Hellmann-Feynman
+    /// forces, each SCF warm-started from the previous step's converged
+    /// state (wavefunction extrapolation). Stops early once the maximum
+    /// force drops below the server's `relax_force_tol`.
     Relax {
-        /// Relaxation rounds to perform.
+        /// Maximum FIRE geometry steps to perform.
         steps: usize,
     },
     /// A cheap screening solve: the SCF runs with a 10x relaxed density

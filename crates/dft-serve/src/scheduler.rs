@@ -27,13 +27,17 @@
 use crate::cache::{ConvergedCache, SpaceCache};
 use crate::job::{JobKind, JobOutcome, JobRequest, JobStatus, Priority};
 use crate::pool::RankPool;
-use dft_core::forces::compute_forces;
+use dft_core::relax::RelaxConfig;
 use dft_core::scf::ScfConfig;
 use dft_core::system::AtomicSystem;
 use dft_fem::space::FeSpace;
 use dft_hpc::comm::{ClusterOptions, FaultPlan};
 use dft_parallel::checkpoint::job_dir;
-use dft_parallel::{scf_with_recovery, DistScfConfig, GridShape, PreemptToken, ScfError};
+use dft_parallel::scf::performed_iterations;
+use dft_parallel::{
+    relax_with_recovery, scf_with_recovery, DistRelaxConfig, DistScfConfig, GridShape,
+    PreemptToken, RelaxError, ScfError,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender};
@@ -58,8 +62,10 @@ pub struct ServerConfig {
     pub timeout: Duration,
     /// Rank-loss relaunch budget per solve.
     pub max_restarts: usize,
-    /// Steepest-descent step length for `Relax` jobs (Bohr^2/Ha).
-    pub relax_gamma: f64,
+    /// Force tolerance (Ha/Bohr) at which a `Relax` job's FIRE trajectory
+    /// stops early; `0.0` disables early stopping (every requested step
+    /// runs). Defaults to the serial driver's tolerance.
+    pub relax_force_tol: f64,
 }
 
 impl ServerConfig {
@@ -73,7 +79,7 @@ impl ServerConfig {
             checkpoint_every: 2,
             timeout: Duration::from_secs(30),
             max_restarts: 2,
-            relax_gamma: 0.5,
+            relax_force_tol: RelaxConfig::default().force_tol,
         }
     }
 }
@@ -375,7 +381,7 @@ impl Scheduler {
             checkpoint_every: self.cfg.checkpoint_every,
             timeout: self.cfg.timeout,
             max_restarts: self.cfg.max_restarts,
-            relax_gamma: self.cfg.relax_gamma,
+            relax_force_tol: self.cfg.relax_force_tol,
         };
         let tx = self.events_tx.clone();
         let worker_token = token.clone();
@@ -519,7 +525,7 @@ struct WorkerKnobs {
     checkpoint_every: usize,
     timeout: Duration,
     max_restarts: usize,
-    relax_gamma: f64,
+    relax_force_tol: f64,
 }
 
 /// Pick the process-grid shape for a gang: the tenant's hint when it tiles
@@ -537,9 +543,36 @@ fn pick_grid(hint: Option<GridShape>, granted: usize, nk: usize) -> GridShape {
     }
 }
 
-/// The worker thread body: run the job's solve rounds on its granted
-/// ranks, mutating `job` with accumulated accounting, and report how it
-/// ended. Never panics; every failure becomes a [`Disposition`].
+/// The serial SCF knobs for a job (Screen relaxes the tolerance tenfold).
+fn base_scf_config(job: &QueuedJob) -> ScfConfig {
+    let spec = &job.req.spec;
+    ScfConfig {
+        n_states: spec.n_states,
+        kt: spec.kt,
+        tol: if matches!(job.req.kind, JobKind::Screen) {
+            spec.tol * 10.0
+        } else {
+            spec.tol
+        },
+        max_iter: spec.max_iter,
+        cheb_degree: spec.cheb_degree,
+        first_iter_cf_passes: spec.first_iter_cf_passes,
+        ..ScfConfig::default()
+    }
+}
+
+/// Describe a caught solver panic payload.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "solver panicked".to_string())
+}
+
+/// The worker thread body: run the job's solve on its granted ranks,
+/// mutating `job` with accumulated accounting, and report how it ended.
+/// Never panics; every failure becomes a [`Disposition`].
 fn run_worker(
     job: &mut QueuedJob,
     granted: usize,
@@ -547,183 +580,258 @@ fn run_worker(
     token: PreemptToken,
     knobs: &WorkerKnobs,
 ) -> WorkerReport {
-    let rounds = match job.req.kind {
-        JobKind::Relax { steps } => steps.max(1),
-        _ => 1,
-    };
-    let cacheable = matches!(job.req.kind, JobKind::Scf | JobKind::Screen);
+    if let JobKind::Relax { steps } = job.req.kind {
+        return run_relax_worker(job, granted, space, token, knobs, steps);
+    }
+    // Scf / Screen: one electronic solve, publishable into the
+    // converged-state cache
     let conv_dir = knobs.job_root.join("converged");
-    let warm_next = knobs.job_root.join("warm-next");
-
-    let mut current_n = granted;
-    let mut recoveries = 0usize;
-    let mut performed = 0usize;
-    let mut free_energy = f64::NAN;
-    let mut converged = false;
-
-    for round in 0..rounds {
-        let remaining = rounds - round;
-        let system = AtomicSystem::new(job.req.spec.atoms.clone());
-        let spec = &job.req.spec;
-        let base = ScfConfig {
-            n_states: spec.n_states,
-            kt: spec.kt,
-            tol: if matches!(job.req.kind, JobKind::Screen) {
-                spec.tol * 10.0
-            } else {
-                spec.tol
-            },
-            max_iter: spec.max_iter,
-            cheb_degree: spec.cheb_degree,
-            first_iter_cf_passes: spec.first_iter_cf_passes,
-            ..ScfConfig::default()
-        };
-        // relax rounds each get their own snapshot directory (iteration
-        // numbering restarts every round; sharing one directory would let
-        // a resume pick up the wrong round's snapshot), derived from the
-        // *remaining*-step count so a preempted resume lands back in the
-        // directory it left
-        let ckpt_dir = if rounds > 1 {
-            knobs.job_root.join(format!("steps-left-{remaining:04}"))
-        } else {
-            knobs.job_root.clone()
-        };
-        let mut cfg = DistScfConfig::new(base)
-            .with_checkpoints(&ckpt_dir, knobs.checkpoint_every)
-            .with_grid(pick_grid(spec.grid_hint, current_n, spec.kpts.len()))
-            .with_preempt(token.clone());
-        // export a warm-start snapshot of the converged state: to the
-        // published cache location for cacheable kinds, and to the
-        // round-chaining slot for relaxations
-        cfg = if cacheable {
-            cfg.with_final_state(&conv_dir)
-        } else {
-            cfg.with_final_state(&warm_next)
-        };
-        // warm-start source: round 0 reads the converged-state cache
-        // entry, later rounds read the previous round's export; resumes
-        // additionally see their own (newer) checkpoints, which win
-        if round == 0 {
-            if let Some(dir) = &job.warm_from {
-                cfg = cfg.with_restart_from(dir);
-            }
-        } else {
-            cfg = cfg.with_restart_from(&warm_next);
-        }
-        if job.resume {
-            cfg = cfg.with_restart();
-        }
-
-        let opts = ClusterOptions {
-            timeout: knobs.timeout,
-            // injected faults apply to the first round of the first
-            // dispatch only (kill rules would re-fire every launch)
-            faults: if round == 0 {
-                Arc::clone(&job.req.faults)
-            } else {
-                Arc::new(FaultPlan::default())
-            },
-        };
-
-        // a panicking solver rank (numerical breakdown inside dft-core)
-        // must fail the job, never strand it: the scheduler still needs
-        // the Done event to release this gang's ranks
-        let solve = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            scf_with_recovery(
-                current_n,
-                &opts,
-                space,
-                &system,
-                &spec.functional,
-                &cfg,
-                &spec.kpts,
-                knobs.max_restarts,
-            )
-        }));
-        let solve = match solve {
-            Ok(r) => r,
-            Err(payload) => {
-                let why = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "solver panicked".to_string());
-                return WorkerReport {
-                    granted,
-                    survivors: current_n,
-                    recoveries,
-                    performed,
-                    disposition: Disposition::Failed(format!("solver panicked: {why}")),
-                };
-            }
-        };
-        match solve {
-            Ok(report) => {
-                recoveries += report.attempts - 1;
-                let Some(first) = report.results.first() else {
-                    return WorkerReport {
-                        granted,
-                        survivors: report.final_nranks,
-                        recoveries,
-                        performed,
-                        disposition: Disposition::Failed("empty cluster result".into()),
-                    };
-                };
-                performed += first.iterations - first.resumed_from.unwrap_or(0);
-                if round == 0 && !job.resume && job.warm_from.is_some() {
-                    job.cache_hit = first.resumed_from.is_some();
-                }
-                free_energy = first.energy.free_energy;
-                converged = first.converged;
-                current_n = report.final_nranks;
-                if rounds > 1 && round + 1 < rounds {
-                    // steepest descent: walk along the Hellmann-Feynman
-                    // forces before the next round
-                    let forces = compute_forces(space, &system, &first.density.values);
-                    for (atom, f) in job.req.spec.atoms.iter_mut().zip(forces.iter()) {
-                        for (p, fc) in atom.pos.iter_mut().zip(f.iter()) {
-                            *p += knobs.relax_gamma * fc;
-                        }
-                    }
-                }
-                // a mid-relax resume is complete once this round finishes
-                job.resume = false;
-                if rounds > 1 {
-                    job.req.kind = JobKind::Relax {
-                        steps: remaining - 1,
-                    };
-                }
-            }
-            Err(ScfError::Preempted { .. }) => {
-                return WorkerReport {
-                    granted,
-                    survivors: current_n,
-                    recoveries,
-                    performed,
-                    disposition: Disposition::Preempted,
-                };
-            }
-            Err(e) => {
-                return WorkerReport {
-                    granted,
-                    survivors: current_n,
-                    recoveries,
-                    performed,
-                    disposition: Disposition::Failed(e.to_string()),
-                };
-            }
-        }
+    let system = AtomicSystem::new(job.req.spec.atoms.clone());
+    let spec = &job.req.spec;
+    let mut cfg = DistScfConfig::new(base_scf_config(job))
+        .with_checkpoints(&knobs.job_root, knobs.checkpoint_every)
+        .with_grid(pick_grid(spec.grid_hint, granted, spec.kpts.len()))
+        .with_preempt(token.clone())
+        .with_final_state(&conv_dir);
+    // warm-start source: the converged-state cache entry; resumes
+    // additionally see their own (newer) checkpoints, which win
+    if let Some(dir) = &job.warm_from {
+        cfg = cfg.with_restart_from(dir);
+    }
+    if job.resume {
+        cfg = cfg.with_restart();
     }
 
-    WorkerReport {
-        granted,
-        survivors: current_n,
-        recoveries,
-        performed,
-        disposition: Disposition::Finished {
-            free_energy,
-            converged,
-            published: (cacheable && converged).then(|| conv_dir.clone()),
+    let opts = ClusterOptions {
+        timeout: knobs.timeout,
+        faults: Arc::clone(&job.req.faults),
+    };
+
+    // a panicking solver rank (numerical breakdown inside dft-core)
+    // must fail the job, never strand it: the scheduler still needs
+    // the Done event to release this gang's ranks
+    let solve = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        scf_with_recovery(
+            granted,
+            &opts,
+            space,
+            &system,
+            &spec.functional,
+            &cfg,
+            &spec.kpts,
+            knobs.max_restarts,
+        )
+    }));
+    let solve = match solve {
+        Ok(r) => r,
+        Err(payload) => {
+            return WorkerReport {
+                granted,
+                survivors: granted,
+                recoveries: 0,
+                performed: 0,
+                disposition: Disposition::Failed(format!(
+                    "solver panicked: {}",
+                    panic_reason(payload)
+                )),
+            };
+        }
+    };
+    match solve {
+        Ok(report) => {
+            let recoveries = report.attempts - 1;
+            let Some(first) = report.results.first() else {
+                return WorkerReport {
+                    granted,
+                    survivors: report.final_nranks,
+                    recoveries,
+                    performed: 0,
+                    disposition: Disposition::Failed("empty cluster result".into()),
+                };
+            };
+            let performed = performed_iterations(first.iterations, first.resumed_from);
+            if !job.resume && job.warm_from.is_some() {
+                job.cache_hit = first.resumed_from.is_some();
+            }
+            let converged = first.converged;
+            job.resume = false;
+            WorkerReport {
+                granted,
+                survivors: report.final_nranks,
+                recoveries,
+                performed,
+                disposition: Disposition::Finished {
+                    free_energy: first.energy.free_energy,
+                    converged,
+                    published: converged.then(|| conv_dir.clone()),
+                },
+            }
+        }
+        Err(ScfError::Preempted { .. }) => WorkerReport {
+            granted,
+            survivors: granted,
+            recoveries: 0,
+            performed: 0,
+            disposition: Disposition::Preempted,
         },
+        Err(e) => WorkerReport {
+            granted,
+            survivors: granted,
+            recoveries: 0,
+            performed: 0,
+            disposition: Disposition::Failed(e.to_string()),
+        },
+    }
+}
+
+/// The Relax worker: one [`relax_with_recovery`] call drives the whole
+/// FIRE trajectory — distributed forces, warm-started per-step SCFs, and
+/// a persisted integrator state that preemption and rank-loss relaunches
+/// resume from. Replaces the old per-round steepest-descent loop (which
+/// recomputed forces serially on the scheduler thread between rounds).
+fn run_relax_worker(
+    job: &mut QueuedJob,
+    granted: usize,
+    space: &Arc<FeSpace>,
+    token: PreemptToken,
+    knobs: &WorkerKnobs,
+    steps: usize,
+) -> WorkerReport {
+    let system = AtomicSystem::new(job.req.spec.atoms.clone());
+    let spec = &job.req.spec;
+    let mut cfg = DistScfConfig::new(base_scf_config(job))
+        .with_checkpoints(&knobs.job_root, knobs.checkpoint_every)
+        .with_grid(pick_grid(spec.grid_hint, granted, spec.kpts.len()))
+        .with_preempt(token.clone());
+    // a cache entry for this geometry family warm-starts the first step;
+    // later steps chain through the trajectory's own `relax-warm` slot
+    if let Some(dir) = &job.warm_from {
+        cfg = cfg.with_restart_from(dir);
+    }
+    if job.resume {
+        cfg = cfg.with_restart();
+    }
+    let relax_cfg = DistRelaxConfig {
+        fire: RelaxConfig {
+            max_steps: steps.max(1),
+            force_tol: knobs.relax_force_tol,
+            ..RelaxConfig::default()
+        },
+        warm_start: true,
+    };
+
+    let opts = ClusterOptions {
+        timeout: knobs.timeout,
+        faults: Arc::clone(&job.req.faults),
+    };
+
+    let solve = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        relax_with_recovery(
+            granted,
+            &opts,
+            space,
+            &system,
+            &spec.functional,
+            &cfg,
+            &relax_cfg,
+            &spec.kpts,
+            knobs.max_restarts,
+        )
+    }));
+    let solve = match solve {
+        Ok(r) => r,
+        Err(payload) => {
+            return WorkerReport {
+                granted,
+                survivors: granted,
+                recoveries: 0,
+                performed: 0,
+                disposition: Disposition::Failed(format!(
+                    "solver panicked: {}",
+                    panic_reason(payload)
+                )),
+            };
+        }
+    };
+    match solve {
+        Ok(report) => {
+            let recoveries = report.attempts - 1;
+            let Some(first) = report.results.first() else {
+                return WorkerReport {
+                    granted,
+                    survivors: report.final_nranks,
+                    recoveries,
+                    performed: 0,
+                    disposition: Disposition::Failed("empty cluster result".into()),
+                };
+            };
+            // net new SCF iterations this dispatch: records loaded from a
+            // resumed trajectory's state were paid for by earlier
+            // dispatches
+            let fresh = first.resumed_step.unwrap_or(0).min(first.trajectory.len());
+            let performed: usize = first.trajectory[fresh..]
+                .iter()
+                .map(|t| t.scf_iterations)
+                .sum();
+            if !job.resume && job.warm_from.is_some() {
+                job.cache_hit = first.trajectory.first().is_some_and(|t| t.warm_started);
+            }
+            // the relaxed geometry is the job's deliverable
+            for (atom, relaxed) in job.req.spec.atoms.iter_mut().zip(&first.system.atoms) {
+                atom.pos = relaxed.pos;
+            }
+            job.resume = false;
+            WorkerReport {
+                granted,
+                survivors: report.final_nranks,
+                recoveries,
+                performed,
+                disposition: Disposition::Finished {
+                    // electronic convergence of the final geometry (the
+                    // FIRE force verdict lives in the trajectory records)
+                    free_energy: first.scf.energy.free_energy,
+                    converged: first.scf.converged,
+                    published: None,
+                },
+            }
+        }
+        Err(RelaxError::Scf(ScfError::Preempted { .. })) => WorkerReport {
+            granted,
+            survivors: granted,
+            recoveries: 0,
+            performed: 0,
+            disposition: Disposition::Preempted,
+        },
+        Err(RelaxError::Force(e)) => WorkerReport {
+            granted,
+            survivors: granted,
+            recoveries: 0,
+            performed: 0,
+            disposition: Disposition::Failed(format!("force evaluation failed: {e}")),
+        },
+        Err(e) => WorkerReport {
+            granted,
+            survivors: granted,
+            recoveries: 0,
+            performed: 0,
+            disposition: Disposition::Failed(e.to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dft_parallel::scf::performed_iterations;
+
+    /// The warm-resume-converges-immediately edge: a run resumed from a
+    /// snapshot labeled N that performs no further loop iterations
+    /// reports `iterations = 0`, and the accounting must floor at zero
+    /// instead of wrapping the unsigned subtraction.
+    #[test]
+    fn performed_iterations_saturates_on_immediate_convergence() {
+        assert_eq!(performed_iterations(0, Some(3)), 0);
+        assert_eq!(performed_iterations(1, Some(1)), 0);
+        assert_eq!(performed_iterations(5, Some(1)), 4);
+        assert_eq!(performed_iterations(7, None), 7);
     }
 }

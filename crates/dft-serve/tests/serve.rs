@@ -200,7 +200,9 @@ fn preemption_checkpoints_victim_and_resumes_it() {
     let mut cfg = ServerConfig::new(fresh_root("preempt"));
     cfg.pool_ranks = 1;
     cfg.checkpoint_every = 1;
-    cfg.relax_gamma = 0.05;
+    // unreachable force tolerance: the victim relaxation runs all of its
+    // steps, keeping the pool saturated until preemption fires
+    cfg.relax_force_tol = 0.0;
     let server = DftServer::start(cfg).expect("start");
 
     let victim = server
@@ -374,7 +376,9 @@ fn screening_burst_from_structure_family() {
 fn relaxation_moves_atoms_downhill() {
     let mut cfg = ServerConfig::new(fresh_root("relax"));
     cfg.pool_ranks = 2;
-    cfg.relax_gamma = 0.3;
+    // unreachable force tolerance: both FIRE steps always execute, so the
+    // atoms are guaranteed to move off their starting positions
+    cfg.relax_force_tol = 0.0;
     let server = DftServer::start(cfg).expect("start");
 
     // a stretched diatomic: nonzero forces along the bond

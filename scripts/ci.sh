@@ -34,6 +34,9 @@ cargo test -q --offline --release -p dft-parallel --test grid
 echo "==> serve suite (multi-tenant scheduler: bursts, admission control, preemption, rank kill)"
 cargo test -q --offline --release -p dft-serve
 
+echo "==> relax/MD suite (distributed force parity/determinism, FIRE trajectory parity, warm starts)"
+cargo test -q --offline --release -p dft-parallel --test forces
+
 echo "==> comm sanitizer (debug profile): message-leak + tag-band runtime checks"
 cargo test -q --offline -p dft-hpc --features sanitize comm::
 cargo test -q --offline -p dft-parallel --features sanitize --test fault_tolerance
@@ -59,5 +62,8 @@ cargo run -q --offline --release -p dft-bench --bin bench_recovery -- --check BE
 
 echo "==> BENCH_serve.json schema check"
 cargo run -q --offline --release -p dft-bench --bin bench_serve -- --check BENCH_serve.json
+
+echo "==> BENCH_md.json schema check"
+cargo run -q --offline --release -p dft-bench --bin bench_md -- --check BENCH_md.json
 
 echo "==> CI green"
