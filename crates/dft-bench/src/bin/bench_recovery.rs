@@ -172,6 +172,7 @@ fn main() {
     let opts = ClusterOptions {
         timeout: TIMEOUT,
         faults: Arc::new(FaultPlan::kill_at_epoch(KILL_RANK, KILL_EPOCH)),
+        schedule: None,
     };
     let t0 = Instant::now();
     let report = scf_with_recovery(

@@ -24,6 +24,7 @@
 //! band (e.g. "mid ghost exchange", "mid allreduce"), and can delay
 //! messages matching a tag band to model slow links.
 
+use crate::explore::{SchedState, SchedulePlan};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -333,6 +334,9 @@ pub struct ClusterOptions {
     pub timeout: Duration,
     /// Deterministic fault-injection plan (empty = fault-free).
     pub faults: Arc<FaultPlan>,
+    /// Seeded message-schedule perturbation for the exploration sanitizer
+    /// (`None` = natural delivery order, zero overhead).
+    pub schedule: Option<SchedulePlan>,
 }
 
 impl Default for ClusterOptions {
@@ -340,6 +344,7 @@ impl Default for ClusterOptions {
         Self {
             timeout: Duration::from_secs(30),
             faults: Arc::new(FaultPlan::default()),
+            schedule: None,
         }
     }
 }
@@ -513,6 +518,9 @@ pub struct ThreadComm {
     epoch: u64,
     /// First failure observed; once set, every operation short-circuits.
     failed: Option<CommError>,
+    /// Schedule-exploration state: seeded send delays and pending-queue
+    /// permutation (`None` in production runs).
+    sched: Option<SchedState>,
 }
 
 impl ThreadComm {
@@ -642,6 +650,11 @@ impl ThreadComm {
     pub fn send_bytes(&mut self, dst: usize, tag: u64, data: Vec<u8>) -> Result<(), CommError> {
         self.check()?;
         self.fault_on_send(tag)?;
+        if let Some(s) = self.sched.as_mut() {
+            if let Some(d) = s.delay_for(tag) {
+                std::thread::sleep(d);
+            }
+        }
         #[cfg(feature = "sanitize")]
         sanitize::MsgTracker::assert_tag_registered(tag);
         self.stats
@@ -667,6 +680,25 @@ impl ThreadComm {
             return Err(e);
         }
         Ok(())
+    }
+
+    /// Stash a drained non-matching packet in the pending queue. Without a
+    /// schedule plan this is a plain FIFO append; under exploration the
+    /// packet lands at a seeded position among *other* `(src, tag)`
+    /// streams — but never ahead of an earlier packet of its own stream,
+    /// so the MPI non-overtaking rule holds under every explored schedule.
+    fn stash(&mut self, p: Packet) {
+        let Some(s) = self.sched.as_mut() else {
+            self.pending.push_back(p);
+            return;
+        };
+        let floor = self
+            .pending
+            .iter()
+            .rposition(|q| q.src == p.src && q.tag == p.tag)
+            .map_or(0, |i| i + 1);
+        let slot = s.insert_slot(floor, self.pending.len());
+        self.pending.insert(slot, p);
     }
 
     /// Pop the first buffered packet matching `(src, tag)`, preserving the
@@ -719,7 +751,7 @@ impl ThreadComm {
                         self.stats.tracker.deliver(p.src, self.rank, p.tag);
                         return Ok(p.data);
                     }
-                    self.pending.push_back(p);
+                    self.stash(p);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     let e = CommError::Timeout { src, tag };
@@ -745,7 +777,7 @@ impl ThreadComm {
         self.check()?;
         let disconnected = loop {
             match self.receiver.try_recv() {
-                Ok(p) => self.pending.push_back(p),
+                Ok(p) => self.stash(p),
                 Err(TryRecvError::Empty) => break false,
                 Err(TryRecvError::Disconnected) => break true,
             }
@@ -1213,6 +1245,10 @@ where
             kill_hits: vec![0; opts.faults.kills.len()],
             epoch: 0,
             failed: None,
+            sched: opts
+                .schedule
+                .as_ref()
+                .map(|plan| SchedState::for_rank(plan, rank)),
         })
         .collect();
     drop(senders);
@@ -1592,6 +1628,7 @@ mod tests {
             kill_hits: Vec::new(),
             epoch: 0,
             failed: None,
+            sched: None,
         };
         // rank 1 holds no sender clone of rank 0's channel -> dropping
         // rank 1 disconnects rank 0's receiver entirely

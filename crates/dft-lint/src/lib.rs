@@ -14,6 +14,9 @@
 //! | L003 | every wire tag in `comm.rs` comes from the declared `TagBand` registry, and the declared bands are statically proven pairwise disjoint, bounded by `MAX_RANKS`, and inside `COLLECTIVE_TAGS` |
 //! | L004 | determinism: no `==`/`!=` on float expressions (workspace-wide), no `HashMap`/`HashSet` in the deterministic reduction crates `dft-hpc`/`dft-parallel` |
 //! | L005 | no allocation (`Vec::new`, `vec![`, `.collect()`, `.clone()`, `.to_vec()`) inside functions marked `dftlint:hot` on the preceding line |
+//! | L006 | SPMD collective ordering: no collective under rank-dependent control flow with divergent per-branch sequences, no early exit (`return`/`?`/`break`/`continue`) in a rank-dependent branch when collectives follow — resolved through a workspace call-summary graph |
+//! | L007 | poison safety: a `CommError` is never swallowed (`let _ =`, `.ok()`, `.unwrap_or*()`, `Err(_) => continue`/`{}`) — it must reach the poison cascade or a typed error |
+//! | L008 | group-collective tag discipline in `comm.rs`: every `group_*` point-to-point tag derives from exactly one registered `TagBand` (`BAND.for_rank(..)`/`BAND.tag()`), whose bounds the L003 const-evaluator proves |
 //!
 //! A violation can be suppressed — with a mandatory justification — by a
 //! line comment on the same or the preceding line:
@@ -27,9 +30,11 @@
 //! `dftlint:fixture(crate="dft-hpc", file="comm.rs")` as the first comment.
 
 pub mod expr;
+pub mod flow;
 pub mod token;
 
 use expr::ConstEnv;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -45,7 +50,7 @@ pub struct Diagnostic {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
-    /// Stable lint ID (`L000`..`L005`).
+    /// Stable lint ID (`L000`..`L008`).
     pub id: &'static str,
     /// Human-readable description of the violated invariant.
     pub message: String,
@@ -77,8 +82,10 @@ pub struct FileCtx {
 /// `HashMap`-free (L004): the fault-tolerant distributed stack.
 const FAULT_TOLERANT_CRATES: &[&str] = &["dft-hpc", "dft-parallel", "dft-serve"];
 
-/// All known lint IDs (for `allow` validation).
-const LINT_IDS: &[&str] = &["L001", "L002", "L003", "L004", "L005"];
+/// All known lint IDs (for `allow` validation and `--summary` buckets).
+pub const LINT_IDS: &[&str] = &[
+    "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008",
+];
 
 // ---------------------------------------------------------------------------
 // Directives (parsed from line comments)
@@ -490,7 +497,7 @@ fn const_items(toks: &[Tok]) -> Vec<ConstItem> {
 }
 
 /// Split a token range on top-level commas.
-fn split_top_level(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn split_top_level(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut parts = Vec::new();
     let mut depth = 0i64;
     let mut start = 0usize;
@@ -805,7 +812,22 @@ fn float_operand(toks: &[Tok], i: usize) -> bool {
 
 /// Lint one file's source under the given context. Fixture files may
 /// override the context with a `dftlint:fixture(...)` directive.
+///
+/// L006 call summaries are computed from this file alone; use
+/// [`lint_source_with`] (as [`lint_workspace`] does) to resolve calls to
+/// collective-emitting functions defined in *other* files.
 pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
+    lint_source_with(ctx, src, None)
+}
+
+/// [`lint_source`] with an optional workspace-wide collective-emitter set
+/// (function names that transitively issue a collective, plus the
+/// `ThreadComm` primitives). `None` closes over this file's own functions.
+pub fn lint_source_with(
+    ctx: &FileCtx,
+    src: &str,
+    emitters: Option<&BTreeSet<String>>,
+) -> Vec<Diagnostic> {
     let (toks, comments) = tokenize(src);
     let mut directives = parse_directives(&comments, &toks);
 
@@ -953,6 +975,54 @@ pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
         }
     }
 
+    // L006/L007: SPMD collective ordering + poison safety in the
+    // fault-tolerant crates. comm.rs itself is exempt from L006: its
+    // rank-conditional root/leaf sends ARE the collective implementations
+    // (protocol safety there is carried by L003/L008 plus the runtime
+    // sanitizer and schedule explorer).
+    if fault_tolerant {
+        if !is_comm {
+            let local_emitters;
+            let emitters = match emitters {
+                Some(e) => e,
+                None => {
+                    local_emitters = flow::close_over_collectives(&flow::direct_calls(&toks));
+                    &local_emitters
+                }
+            };
+            let mut l6 = Vec::new();
+            flow::lint_collective_ordering(&toks, &test, emitters, &mut l6);
+            for (line, col, msg) in l6 {
+                raw.push((line, col, "L006", msg));
+            }
+        }
+        let mut l7 = Vec::new();
+        flow::lint_poison_safety(&toks, &test, &mut l7);
+        for (line, col, msg) in l7 {
+            raw.push((line, col, "L007", msg));
+        }
+    }
+
+    // L008: group-collective tag discipline, comm.rs only. Band consts are
+    // the ones whose rhs declares a `TagBand` literal — the registry L003
+    // has already proven disjoint and rank-indexable.
+    if is_comm {
+        let band_consts: BTreeSet<String> = const_items(&toks)
+            .iter()
+            .filter(|it| {
+                toks[it.rhs.0..it.rhs.1]
+                    .iter()
+                    .any(|t| t.is_ident("TagBand"))
+            })
+            .map(|it| it.name.clone())
+            .collect();
+        let mut l8 = Vec::new();
+        flow::lint_group_tag_discipline(&toks, &test, &band_consts, &mut l8);
+        for (line, col, msg) in l8 {
+            raw.push((line, col, "L008", msg));
+        }
+    }
+
     // apply suppressions, then fold in directive errors as L000
     let mut diags: Vec<Diagnostic> = raw
         .into_iter()
@@ -1078,11 +1148,29 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<(PathBuf, FileCtx)>> {
 }
 
 /// Lint every project source file under the workspace at `root`.
+///
+/// Two passes: the first builds the L006 call-summary graph over the
+/// fault-tolerant crates (every function name that transitively reaches a
+/// `ThreadComm` collective), the second lints each file against it — so a
+/// rank-conditional call to a *local helper* that allreduces three frames
+/// down is flagged exactly like a direct rank-conditional allreduce.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+    let mut sources = Vec::new();
     for (path, ctx) in workspace_files(root)? {
         let src = fs::read_to_string(&path)?;
-        diags.extend(lint_source(&ctx, &src));
+        sources.push((ctx, src));
+    }
+    let mut facts = Vec::new();
+    for (ctx, src) in &sources {
+        if FAULT_TOLERANT_CRATES.contains(&ctx.crate_name.as_str()) {
+            let (toks, _) = tokenize(src);
+            facts.extend(flow::direct_calls(&toks));
+        }
+    }
+    let emitters = flow::close_over_collectives(&facts);
+    let mut diags = Vec::new();
+    for (ctx, src) in &sources {
+        diags.extend(lint_source_with(ctx, src, Some(&emitters)));
     }
     Ok(diags)
 }

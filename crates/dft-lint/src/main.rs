@@ -15,10 +15,11 @@ use dft_lint::{
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dft-lint [--workspace] [--deny-all] [--json] [FILES...]\n\
+const USAGE: &str = "usage: dft-lint [--workspace] [--deny-all] [--json] [--summary] [FILES...]\n\
     --workspace  lint every project src/ file under the enclosing workspace\n\
     --deny-all   exit nonzero on any diagnostic (default: only on L000 directive errors)\n\
-    --json       emit diagnostics as a JSON array instead of human-readable lines";
+    --json       emit diagnostics as a JSON array instead of human-readable lines\n\
+    --summary    print per-lint violation counts after the diagnostics";
 
 fn lint_one_path(path: &Path) -> Result<Vec<Diagnostic>, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -48,12 +49,14 @@ fn main() -> ExitCode {
     let mut workspace = false;
     let mut deny_all = false;
     let mut json = false;
+    let mut summary = false;
     let mut files: Vec<PathBuf> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--deny-all" => deny_all = true,
             "--json" => json = true,
+            "--summary" => summary = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -104,6 +107,18 @@ fn main() -> ExitCode {
         if !diags.is_empty() {
             eprintln!("dft-lint: {} diagnostic(s)", diags.len());
         }
+    }
+    if summary {
+        // every bucket, zeros included: a burn-down regression is visible
+        // in the CI log at a glance
+        println!("dft-lint summary:");
+        let mut total = 0usize;
+        for id in std::iter::once(&"L000").chain(dft_lint::LINT_IDS) {
+            let n = diags.iter().filter(|d| d.id == *id).count();
+            total += n;
+            println!("  {id}: {n}");
+        }
+        println!("  total: {total}");
     }
 
     let fails = if deny_all {

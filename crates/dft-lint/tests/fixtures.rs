@@ -86,7 +86,9 @@ fn fixture_set_covers_every_lint_id() {
             }
         }
     }
-    for id in ["L000", "L001", "L002", "L003", "L004", "L005"] {
+    for id in [
+        "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008",
+    ] {
         assert!(seen.contains(&id), "no fixture exercises {id}");
     }
 }

@@ -58,6 +58,9 @@ pub fn scf_with_recovery<X: XcFunctional + Sync>(
     let mut current = ClusterOptions {
         timeout: opts.timeout,
         faults: Arc::clone(&opts.faults),
+        // a recovery relaunch replays the same explored schedule: a
+        // divergence found under seed S must stay reproducible under S
+        schedule: opts.schedule,
     };
     let mut cfg_attempt = cfg.clone();
 
@@ -172,6 +175,9 @@ pub fn relax_with_recovery<X: XcFunctional + Sync>(
     let mut current = ClusterOptions {
         timeout: opts.timeout,
         faults: Arc::clone(&opts.faults),
+        // a recovery relaunch replays the same explored schedule: a
+        // divergence found under seed S must stay reproducible under S
+        schedule: opts.schedule,
     };
     let mut cfg_attempt = cfg.clone();
 

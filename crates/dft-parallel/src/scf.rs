@@ -464,6 +464,7 @@ fn dist_scf_impl<T: ScalarExt>(
     // infallible closure shape: a failed allreduce poisons the communicator
     // and is observed right after the mix
     let reduce_gram = |b: &mut [f64]| {
+        // dftlint:allow(L007, reason="deliberate swallow: the failed allreduce has already poisoned the communicator, and shared.failure() is checked right after the mix")
         let _ = shared.with(|c| c.allreduce_sum_f64(b, WirePrecision::Fp64));
     };
 
@@ -769,6 +770,7 @@ fn dist_scf_impl<T: ScalarExt>(
             let _scope = PhaseScope::new(profile, Phase::Other);
             let stride = base.n_states + 2;
             let mut buf = vec![0.0; kpts.len() * stride];
+            // dftlint:allow(L006, reason="intentional: only the (dom 0, band 0) roots are members of k_roots, every member runs the same sequence, and non-roots rejoin at the group_broadcast below")
             if pgrid.dom == 0 && pgrid.band == 0 {
                 for ik in k0..k1 {
                     let o = ik * stride;

@@ -96,6 +96,7 @@ fn kill_mid_chebyshev_filter_drains_cleanly() {
     let opts = ClusterOptions {
         timeout: Duration::from_secs(2),
         faults: std::sync::Arc::new(FaultPlan::kill_on_send(1, 2, ghost_tag_band(), 0)),
+        schedule: None,
     };
     let t0 = Instant::now();
     let (results, stats) = run_cluster_with(4, &opts, |comm| {
@@ -117,6 +118,7 @@ fn kill_mid_allreduce_drains_cleanly() {
     let opts = ClusterOptions {
         timeout: Duration::from_secs(2),
         faults: std::sync::Arc::new(FaultPlan::kill_on_send(2, 2, COLLECTIVE_TAGS, 1)),
+        schedule: None,
     };
     let t0 = Instant::now();
     let (results, _) = run_cluster_with(4, &opts, |comm| {
@@ -240,6 +242,7 @@ fn killed_rank_recovery_reconverges_to_uninterrupted_energy() {
     let opts = ClusterOptions {
         timeout: Duration::from_secs(2),
         faults: std::sync::Arc::new(FaultPlan::kill_at_epoch(2, 3)),
+        schedule: None,
     };
     let t0 = Instant::now();
     let report = scf_with_recovery(4, &opts, &space, &sys, &Lda, &dcfg, &[KPoint::gamma()], 2)

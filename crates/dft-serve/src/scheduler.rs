@@ -605,6 +605,7 @@ fn run_worker(
     let opts = ClusterOptions {
         timeout: knobs.timeout,
         faults: Arc::clone(&job.req.faults),
+        schedule: None,
     };
 
     // a panicking solver rank (numerical breakdown inside dft-core)
@@ -723,6 +724,7 @@ fn run_relax_worker(
     let opts = ClusterOptions {
         timeout: knobs.timeout,
         faults: Arc::clone(&job.req.faults),
+        schedule: None,
     };
 
     let solve = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -13,8 +13,11 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo bench --no-run"
 cargo bench --offline --workspace --no-run
 
-echo "==> dft-lint (project invariants)"
-cargo run -q --offline --release -p dft-lint -- --workspace --deny-all
+echo "==> dft-lint (project invariants: L001-L008, incl. the L006-L008 collective-protocol prover)"
+cargo run -q --offline --release -p dft-lint -- --workspace --deny-all --summary
+mkdir -p target
+cargo run -q --offline --release -p dft-lint -- --workspace --json > target/dft-lint.json
+echo "    JSON artifact: target/dft-lint.json"
 
 echo "==> cargo build --release"
 cargo build --offline --release --workspace
@@ -40,6 +43,15 @@ cargo test -q --offline --release -p dft-parallel --test forces
 echo "==> comm sanitizer (debug profile): message-leak + tag-band runtime checks"
 cargo test -q --offline -p dft-hpc --features sanitize comm::
 cargo test -q --offline -p dft-parallel --features sanitize --test fault_tolerance
+
+echo "==> schedule-exploration gate (8 seeded delivery schedules, bit-identity; skip with DFT_SCHED_EXPLORE=off)"
+if [ "${DFT_SCHED_EXPLORE:-on}" = "off" ]; then
+  echo "    skipped (DFT_SCHED_EXPLORE=off)"
+else
+  cargo test -q --offline --release -p dft-hpc explore::
+  cargo test -q --offline --release -p dft-parallel --test schedule
+  cargo test -q --offline -p dft-parallel --features sanitize --test schedule
+fi
 
 echo "==> forced-fallback suite (DFT_SIMD=scalar: scalar tile must bit-match its oracle)"
 DFT_SIMD=scalar cargo test -q --offline --release -p dft-linalg --test simd_parity
